@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures as a
+plain-text artifact: it prints the table to stdout (so ``pytest benchmarks/
+--benchmark-only -s`` shows everything) and also writes it under
+``benchmarks/results/`` so EXPERIMENTS.md can point at stable files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmark artifacts (regenerated tables) are written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(results_dir):
+    """Return a function that persists a rendered table and echoes it to stdout."""
+
+    def _record(name: str, content: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(content + "\n")
+        print()
+        print(content)
+        return path
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavyweight experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""E8 -- Theorem 1.1: approximation quality of the quantum estimates.
+
+For a batch of random weighted networks the benchmark runs the quantum
+diameter and radius approximations and records the ratio to the exact value.
+Theorem 1.1 promises a ``(1 + o(1))`` factor (instantiated here as
+``(1 + ε)²`` for the profile's ε); the measured ratios are typically far
+closer to 1 because the analysis is worst-case.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.congest import Network
+from repro.core import quantum_weighted_diameter, quantum_weighted_radius
+from repro.graphs import low_diameter_expander, random_weighted_graph
+
+HEADERS = [
+    "instance",
+    "problem",
+    "exact",
+    "estimate",
+    "ratio",
+    "guarantee (1+eps)^2",
+    "within",
+]
+
+
+def _instances():
+    for seed in (1, 2, 3):
+        yield f"random[{seed}]", Network(
+            random_weighted_graph(num_nodes=34, average_degree=4.0, max_weight=60, seed=seed)
+        )
+    yield "expander", Network(
+        low_diameter_expander(36, degree=6, max_weight=40, seed=9)
+    )
+
+
+def _sweep():
+    rows = []
+    for name, network in _instances():
+        for problem, runner in (
+            ("diameter", quantum_weighted_diameter),
+            ("radius", quantum_weighted_radius),
+        ):
+            result = runner(network, seed=7)
+            guarantee = (1 + result.parameters.epsilon) ** 2
+            rows.append(
+                [
+                    name,
+                    problem,
+                    result.exact_value,
+                    round(result.value, 2),
+                    round(result.approximation_ratio, 4),
+                    round(guarantee, 3),
+                    "yes" if result.within_guarantee else "NO",
+                ]
+            )
+    return rows
+
+
+def test_approximation_quality(benchmark, record_artifact):
+    rows = run_once(benchmark, _sweep)
+    ratios = [row[4] for row in rows]
+    table = render_table(
+        HEADERS, rows, title="Theorem 1.1: approximation quality (quantum vs exact)"
+    )
+    summary = (
+        f"\nmean ratio = {statistics.mean(ratios):.4f}, "
+        f"max ratio = {max(ratios):.4f} "
+        f"(worst-case guarantee {rows[0][5]})"
+    )
+    record_artifact("approximation_quality", table + summary)
+
+    for row in rows:
+        assert row[6] == "yes"
+        assert 1 - 1e-9 <= row[4] <= row[5] + 1e-9
+    assert statistics.mean(ratios) < 1.25

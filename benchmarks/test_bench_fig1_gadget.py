@@ -1,0 +1,71 @@
+"""E3 -- Figure 1: structural verification of the base gadget ``G[V_S]``.
+
+For a range of heights ``h`` the benchmark builds the binary-tree-plus-paths
+gadget, checks its node/edge counts against the closed-form formulas, and
+verifies the property the whole Section 4 construction rests on: the
+*unweighted* diameter stays ``Θ(h)`` (hence ``Θ(log n)``) no matter how many
+paths are attached.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.graphs import unweighted_diameter
+from repro.lower_bounds import build_base_gadget
+
+HEADERS = [
+    "h",
+    "paths m",
+    "nodes (measured)",
+    "nodes (formula)",
+    "edges (measured)",
+    "edges (formula)",
+    "unweighted diameter",
+    "2h + 3 envelope",
+]
+
+
+def _expected_nodes(height: int, num_paths: int) -> int:
+    return (2 ** (height + 1) - 1) + num_paths * 2**height
+
+
+def _expected_edges(height: int, num_paths: int) -> int:
+    tree_edges = 2 ** (height + 1) - 2
+    path_edges = num_paths * (2**height - 1)
+    leaf_links = num_paths * 2**height
+    return tree_edges + path_edges + leaf_links
+
+
+def _sweep():
+    rows = []
+    for height, num_paths in ((2, 3), (3, 5), (4, 8), (5, 8), (6, 10)):
+        gadget = build_base_gadget(height, num_paths)
+        rows.append(
+            [
+                height,
+                num_paths,
+                gadget.graph.num_nodes,
+                _expected_nodes(height, num_paths),
+                gadget.graph.num_edges,
+                _expected_edges(height, num_paths),
+                int(unweighted_diameter(gadget.graph)),
+                2 * height + 3,
+            ]
+        )
+    return rows
+
+
+def test_fig1_base_gadget_structure(benchmark, record_artifact):
+    rows = run_once(benchmark, _sweep)
+    table = render_table(
+        HEADERS, rows, title="Figure 1: base gadget G[V_S] structure and diameter"
+    )
+    record_artifact("fig1_base_gadget", table)
+
+    for row in rows:
+        assert row[2] == row[3]          # node count matches the formula
+        assert row[4] == row[5]          # edge count matches the formula
+        assert row[6] <= row[7]          # unweighted diameter is O(h)
+        assert row[6] >= row[0]          # ... and at least h

@@ -1,0 +1,123 @@
+"""E12 -- Appendix A: round costs of Nanongkai's toolkit (Algorithms 1-5).
+
+For a fixed workload the benchmark measures the congestion-adjusted rounds of
+each toolkit stage and compares it against the bound stated in the paper's
+Appendix A (with the polylog factors spelled out as a reference envelope):
+
+=============  =========================================
+Algorithm 2    ``O(L)``                 (bounded-distance SSSP)
+Algorithm 1    ``Õ(ℓ/ε)``               (bounded-hop SSSP)
+Algorithm 3    ``Õ(D + ℓ/ε + |S|)``     (multi-source)
+Algorithm 4    ``Õ(D + |S|·k)``         (overlay embedding)
+Algorithm 5    ``Õ(|S|·D/(ε·k) + |S|)`` (overlay SSSP)
+=============  =========================================
+
+The asserted property is that each measured cost stays within a constant
+times its envelope (the envelope already includes the level count the ``Õ``
+hides), and that the stage ordering matches Lemma 3.5's cost decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.congest import Network
+from repro.graphs import low_diameter_expander
+from repro.graphs.rounding import rounding_levels
+from repro.nanongkai import (
+    SkeletonApproximator,
+    bounded_distance_sssp_protocol,
+    bounded_hop_sssp_protocol,
+    multi_source_bounded_hop_protocol,
+)
+
+HEADERS = ["stage", "measured congested rounds", "reference envelope", "within"]
+
+
+def _sweep():
+    graph = low_diameter_expander(40, degree=6, max_weight=15, seed=4)
+    network = Network(graph)
+    diameter_d = network.unweighted_diameter()
+    epsilon = 0.5
+    hop_bound = 12
+    skeleton = [0, 5, 11, 17, 23, 29, 35]
+    shortcut_k = 3
+    levels = rounding_levels(graph, hop_bound, epsilon)
+    window = (1 + 2 / epsilon) * hop_bound
+
+    rows = []
+
+    def add(stage, measured, envelope):
+        rows.append([stage, measured, round(envelope), "yes" if measured <= envelope else "NO"])
+
+    # Algorithm 2.
+    bound = 40
+    _, report2 = bounded_distance_sssp_protocol(network, 0, bound)
+    add("Algorithm 2 (bounded-distance SSSP, L=40)", report2.congested_rounds, 4 * (bound + 2))
+
+    # Algorithm 1.
+    _, report1 = bounded_hop_sssp_protocol(network, 0, hop_bound, epsilon)
+    add(
+        f"Algorithm 1 (bounded-hop SSSP, l={hop_bound}, eps={epsilon})",
+        report1.congested_rounds,
+        4 * levels * (window + 2),
+    )
+
+    # Algorithm 3.
+    _, report3 = multi_source_bounded_hop_protocol(
+        network, skeleton, hop_bound, epsilon, seed=1
+    )
+    envelope3 = 6 * (diameter_d + levels * (window + 2) + len(skeleton) * math.log2(40) + 40)
+    add(
+        f"Algorithm 3 (multi-source, |S|={len(skeleton)})",
+        report3.congested_rounds,
+        envelope3,
+    )
+
+    # Algorithms 4 and 5 via the skeleton approximator (also measures T0/T1/T2).
+    approximator = SkeletonApproximator(
+        network, skeleton, epsilon=epsilon, hop_bound=hop_bound, k=shortcut_k, seed=2
+    )
+    embedding_rounds = approximator.embedding.report.congested_rounds
+    add(
+        f"Algorithm 4 (overlay embedding, k={shortcut_k})",
+        embedding_rounds,
+        10 * (diameter_d + len(skeleton) * shortcut_k + len(skeleton) * len(skeleton)),
+    )
+
+    setup = approximator.setup_report()
+    overlay_levels = max(
+        1, math.ceil(math.log2(2 * len(skeleton) * max(1, network.max_weight() * 40) / epsilon))
+    )
+    overlay_window = (1 + 2 / epsilon) * approximator.embedding.hop_bound
+    envelope5 = 4 * overlay_levels * (overlay_window + 2) * (diameter_d + 2) + 10 * (
+        diameter_d + len(skeleton)
+    )
+    add("Algorithm 5 (overlay SSSP, one source)", setup.congested_rounds, envelope5)
+
+    evaluation = approximator.evaluation_report()
+    add("Evaluation (max-convergecast)", evaluation.congested_rounds, 6 * (diameter_d + 2))
+
+    return rows, approximator
+
+
+def test_nanongkai_toolkit_round_costs(benchmark, record_artifact):
+    rows, approximator = run_once(benchmark, _sweep)
+    table = render_table(
+        HEADERS, rows, title="Appendix A: measured round costs of the toolkit stages"
+    )
+    record_artifact("nanongkai_toolkit", table)
+
+    for row in rows:
+        assert row[3] == "yes", row
+
+    # Lemma 3.5 cost ordering: Initialization (Algorithms 3+4) dominates a
+    # single Setup (Algorithm 5), which dominates one Evaluation (O(D)).
+    t0 = approximator.initialization_report.congested_rounds
+    t1 = approximator.setup_report().congested_rounds
+    t2 = approximator.evaluation_report().congested_rounds
+    assert t0 > t2
+    assert t1 > t2

@@ -1,0 +1,90 @@
+"""E1 -- Table 1, diameter rows: measured rounds of every diameter variant.
+
+For each workload instance (families with increasing unweighted diameter at
+roughly fixed ``n``), the benchmark measures the congestion-adjusted rounds
+of:
+
+* the classical exact weighted diameter (APSP + convergecast) -- the ``Θ̃(n)``
+  row of Table 1;
+* the classical SSSP-based 2-approximation;
+* this paper's quantum ``(1 + o(1))``-approximation (Theorem 1.1);
+
+and prints them next to the theoretical curves of the remaining Table 1 rows
+(Le Gall-Magniez's unweighted quantum algorithm, the weighted lower bound).
+The reproduced claim is the *shape*: the classical exact protocol tracks
+``n`` regardless of ``D``, while the paper's algorithm tracks
+``n^{9/10} D^{3/10}`` -- cheaper for small ``D``, degrading as ``D`` grows.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import (
+    classical_weighted_bound,
+    diameter_sweep_workloads,
+    render_table,
+    theorem12_lower_bound,
+)
+from repro.analysis.complexity import legall_magniez_bound
+from repro.core import (
+    classical_exact_diameter,
+    quantum_weighted_diameter,
+    sssp_two_approximation_diameter,
+)
+
+HEADERS = [
+    "workload",
+    "n",
+    "D",
+    "classical exact (measured)",
+    "2-approx SSSP (measured)",
+    "quantum (1+eps)^2 (measured)",
+    "quantum ratio",
+    "theory n",
+    "theory n^0.9 D^0.3",
+    "theory sqrt(nD) [unweighted, LG-M]",
+    "theory n^2/3 [lower bnd]",
+]
+
+
+def _sweep():
+    rows = []
+    for instance in diameter_sweep_workloads(num_nodes=42, max_weight=20, seed=1):
+        network = instance.network
+        classical = classical_exact_diameter(network)
+        two_approx = sssp_two_approximation_diameter(network)
+        quantum = quantum_weighted_diameter(network, seed=3)
+        rows.append(
+            [
+                instance.name,
+                instance.num_nodes,
+                int(instance.unweighted_diameter),
+                classical.rounds,
+                two_approx.rounds,
+                quantum.total_rounds,
+                f"{quantum.approximation_ratio:.3f}",
+                round(classical_weighted_bound(instance.num_nodes, instance.unweighted_diameter)),
+                round(instance.num_nodes ** 0.9 * instance.unweighted_diameter ** 0.3, 1),
+                round(legall_magniez_bound(instance.num_nodes, instance.unweighted_diameter), 1),
+                round(theorem12_lower_bound(instance.num_nodes, instance.unweighted_diameter), 1),
+            ]
+        )
+    return rows
+
+
+def test_table1_diameter_rows(benchmark, record_artifact):
+    rows = run_once(benchmark, _sweep)
+    table = render_table(
+        HEADERS, rows, title="Table 1 (diameter rows): measured rounds vs theoretical curves"
+    )
+    record_artifact("table1_diameter", table)
+
+    # Sanity of the regenerated table: every quantum run met its guarantee and
+    # the classical protocol's cost never dropped below ~n while the
+    # 2-approximation stayed well below it.
+    for row in rows:
+        n, quantum_ratio = row[1], float(row[6])
+        assert quantum_ratio <= 2.25 + 1e-9
+        assert row[3] >= n / 2          # classical exact ~ Θ̃(n) or worse
+        assert row[4] <= row[3]         # one SSSP is cheaper than APSP

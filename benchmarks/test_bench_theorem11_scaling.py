@@ -1,0 +1,86 @@
+"""E7 -- Theorem 1.1: round-complexity scaling of the quantum algorithm.
+
+Sweeps a grid of instances over ``(n, D)``, measures the rounds charged to
+the quantum weighted-diameter algorithm, and fits a two-parameter power law
+``rounds ≈ c · n^a · D^b``.  The paper predicts the *shape*
+``n^{9/10} D^{3/10}`` in the low-diameter regime; the simulator's polylog
+factors (levels of weight rounding, (1 + 2/ε) windows, delay smoothing) ride
+on top of it, so the fitted exponents are compared against the prediction
+with generous tolerances and -- more importantly -- the measured rounds must
+be *positively correlated* with the predicted curve and grow sublinearly in
+the instance ordering where the theory says they should.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import (
+    crossover_workloads,
+    fit_power_law,
+    fit_two_parameter_power_law,
+    render_table,
+)
+from repro.core import quantum_weighted_diameter
+
+HEADERS = ["workload", "n", "D", "measured rounds (mean of seeds)", "n^0.9 * D^0.3"]
+
+
+SEEDS = (5, 6, 7)
+
+
+def _sweep():
+    rows = []
+    for instance in crossover_workloads(node_counts=(24, 36, 48, 64), seed=3):
+        charges = [
+            quantum_weighted_diameter(
+                instance.network, seed=seed, compute_exact=False
+            ).total_rounds
+            for seed in SEEDS
+        ]
+        rows.append(
+            [
+                instance.name,
+                instance.num_nodes,
+                instance.unweighted_diameter,
+                round(sum(charges) / len(charges)),
+                round(instance.num_nodes ** 0.9 * instance.unweighted_diameter ** 0.3, 1),
+            ]
+        )
+    return rows
+
+
+def test_theorem11_round_scaling(benchmark, record_artifact):
+    rows = run_once(benchmark, _sweep)
+
+    ns = [row[1] for row in rows]
+    ds = [row[2] for row in rows]
+    rounds = [row[3] for row in rows]
+    predicted = [row[4] for row in rows]
+
+    two_parameter = fit_two_parameter_power_law(ns, ds, rounds)
+    against_prediction = fit_power_law(predicted, rounds)
+
+    summary = render_table(
+        HEADERS,
+        [[row[0], row[1], int(row[2]), row[3], row[4]] for row in rows],
+        title="Theorem 1.1: measured quantum rounds across the (n, D) grid",
+    )
+    fit_lines = (
+        f"\nTwo-parameter fit: rounds ~ {two_parameter.constant:.1f}"
+        f" * n^{two_parameter.exponents[0]:.2f}"
+        f" * D^{two_parameter.exponents[1]:.2f}"
+        f"   (R^2 = {two_parameter.r_squared:.3f})"
+        f"\nPaper's prediction:          n^0.90 * D^0.30"
+        f"\nFit against the predicted curve: exponent "
+        f"{against_prediction.exponent:.2f} (R^2 = {against_prediction.r_squared:.3f})"
+    )
+    record_artifact("theorem11_scaling", summary + fit_lines)
+
+    # Shape checks: positive dependence on both n and D, sublinear in n*D,
+    # and positive correlation with the paper's curve.
+    assert two_parameter.exponents[0] > 0.3
+    assert two_parameter.exponents[1] > 0.0
+    assert two_parameter.exponents[0] < 2.0
+    assert against_prediction.exponent > 0.4
+    assert against_prediction.r_squared > 0.3

@@ -1,0 +1,94 @@
+"""Quickstart: approximate the weighted diameter and radius of a network.
+
+This example builds a small random weighted network, runs the paper's quantum
+``(1 + o(1))``-approximation algorithm (Theorem 1.1) for both the diameter
+and the radius, and compares the answers and the charged round counts against
+the exact classical CONGEST protocol.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import quantum_weighted_diameter, quantum_weighted_radius
+from repro.analysis import render_table, theorem11_upper_bound
+from repro.congest import Network
+from repro.core import classical_exact_diameter, classical_exact_radius
+from repro.graphs import random_weighted_graph
+
+
+def main() -> None:
+    # A connected random graph on 40 nodes with weights in [1, 50]: the graph
+    # is simultaneously the communication topology and the weighted input.
+    graph = random_weighted_graph(num_nodes=40, average_degree=4.0, max_weight=50, seed=7)
+    network = Network(graph)
+    print(
+        f"Network: n={network.num_nodes} nodes, m={graph.num_edges} edges, "
+        f"unweighted diameter D={network.unweighted_diameter():.0f}, "
+        f"bandwidth B={network.bandwidth_bits} bits/round"
+    )
+
+    # --- Theorem 1.1: quantum approximation ------------------------------- #
+    diameter_result = quantum_weighted_diameter(network, seed=1)
+    radius_result = quantum_weighted_radius(network, seed=1)
+
+    # --- Classical exact baselines (Θ̃(n) rounds) -------------------------- #
+    classical_diameter = classical_exact_diameter(network)
+    classical_radius = classical_exact_radius(network)
+
+    epsilon = diameter_result.parameters.epsilon
+    rows = [
+        [
+            "diameter",
+            classical_diameter.value,
+            diameter_result.value,
+            f"{diameter_result.approximation_ratio:.3f}",
+            f"<= {(1 + epsilon) ** 2:.2f}",
+            classical_diameter.rounds,
+            diameter_result.total_rounds,
+        ],
+        [
+            "radius",
+            classical_radius.value,
+            radius_result.value,
+            f"{radius_result.approximation_ratio:.3f}",
+            f"<= {(1 + epsilon) ** 2:.2f}",
+            classical_radius.rounds,
+            radius_result.total_rounds,
+        ],
+    ]
+    print()
+    print(
+        render_table(
+            [
+                "problem",
+                "exact",
+                "quantum estimate",
+                "ratio",
+                "guarantee",
+                "classical rounds",
+                "quantum rounds (charged)",
+            ],
+            rows,
+            title="Weighted diameter / radius on the example network",
+        )
+    )
+
+    print()
+    print(
+        "Theorem 1.1 round formula min{n^0.9 D^0.3, n} at this (n, D): "
+        f"{theorem11_upper_bound(network.num_nodes, network.unweighted_diameter()):.0f} "
+        "(absolute measured numbers carry the simulator's polylog constants; the "
+        "benchmarks compare scaling shapes, see benchmarks/ and EXPERIMENTS.md)"
+    )
+    print(
+        f"Chosen skeleton set: index {diameter_result.chosen_set_index}, "
+        f"|S| = {len(diameter_result.chosen_skeleton)}, "
+        f"chosen source node {diameter_result.chosen_source}"
+    )
+
+
+if __name__ == "__main__":
+    main()

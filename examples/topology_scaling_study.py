@@ -1,0 +1,91 @@
+"""Topology scaling study: when does the quantum algorithm pay off?
+
+The paper's headline bound ``Õ(min{n^{9/10} D^{3/10}, n})`` says the quantum
+algorithm beats the classical ``Θ̃(n)`` bound exactly when the network's
+*unweighted* diameter is small (``D = o(n^{1/3})``), and degrades gracefully
+to the classical behaviour on long, thin topologies.  This example sweeps a
+family of "path of cliques" topologies whose diameter can be dialled while
+the node count stays fixed, and prints, for each instance:
+
+* the measured rounds charged to the quantum algorithm,
+* the measured rounds of the exact classical protocol,
+* the theoretical curves of Table 1 at that ``(n, D)``.
+
+The absolute measured numbers carry the simulator's polylog constants (see
+EXPERIMENTS.md); the point of the sweep is the *trend* across diameters.
+
+Run with::
+
+    python examples/topology_scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro import quantum_weighted_diameter
+from repro.analysis import classical_weighted_bound, render_table
+from repro.congest import Network
+from repro.core import classical_exact_diameter
+from repro.graphs import low_diameter_expander, path_of_cliques
+
+
+def sweep_instances(seed: int = 5):
+    """Roughly 36-node topologies with diameters from Θ(log n) to Θ(n)."""
+    instances = [("expander", low_diameter_expander(36, degree=6, max_weight=12, seed=seed))]
+    for num_cliques, clique_size in ((4, 9), (6, 6), (9, 4), (18, 2)):
+        name = f"cliques {num_cliques}x{clique_size}"
+        instances.append(
+            (name, path_of_cliques(num_cliques, clique_size, max_weight=12, seed=seed))
+        )
+    return instances
+
+
+def main() -> None:
+    rows = []
+    for name, graph in sweep_instances():
+        network = Network(graph)
+        n = network.num_nodes
+        diameter_d = network.unweighted_diameter()
+
+        quantum = quantum_weighted_diameter(network, seed=2)
+        classical = classical_exact_diameter(network)
+
+        rows.append(
+            [
+                name,
+                n,
+                int(diameter_d),
+                quantum.total_rounds,
+                classical.rounds,
+                round(n ** 0.9 * diameter_d ** 0.3, 1),
+                round(classical_weighted_bound(n, diameter_d), 1),
+                f"{quantum.approximation_ratio:.3f}",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "topology",
+                "n",
+                "D",
+                "quantum rounds (measured)",
+                "classical rounds (measured)",
+                "n^0.9 D^0.3 (theory)",
+                "n (theory)",
+                "approx ratio",
+            ],
+            rows,
+            title="Diameter computation across topologies of increasing unweighted diameter",
+        )
+    )
+    print()
+    print(
+        "Reading the table: as D grows, the quantum algorithm's theoretical\n"
+        "advantage over the classical Θ̃(n) bound shrinks and vanishes around\n"
+        "D ≈ n^{1/3}; the measured columns follow the same trend with the\n"
+        "simulator's constant factors on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

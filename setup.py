@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments whose tooling predates PEP 660
+editable wheels (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

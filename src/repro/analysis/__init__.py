@@ -1,0 +1,44 @@
+"""Analysis layer: complexity formulas, scaling fits and table/figure renderers.
+
+* :mod:`repro.analysis.complexity` -- the theoretical round-complexity
+  formulas behind every row of Table 1 (classical and quantum, weighted and
+  unweighted, upper and lower bounds).
+* :mod:`repro.analysis.fitting` -- log-log power-law fits used to extract
+  scaling exponents from measured round counts.
+* :mod:`repro.analysis.tables` -- plain-text table renderers used by the
+  benchmarks and EXPERIMENTS.md.
+* :mod:`repro.analysis.workloads` -- the graph-family sweeps shared by the
+  benchmark harness (families whose ``n`` and ``D`` can be dialled
+  independently).
+"""
+
+from repro.analysis.complexity import (
+    Table1Row,
+    table1_rows,
+    theorem11_upper_bound,
+    theorem12_lower_bound,
+    classical_weighted_bound,
+)
+from repro.analysis.fitting import PowerLawFit, fit_power_law, fit_two_parameter_power_law
+from repro.analysis.tables import render_table, format_float
+from repro.analysis.workloads import (
+    WorkloadInstance,
+    diameter_sweep_workloads,
+    crossover_workloads,
+)
+
+__all__ = [
+    "Table1Row",
+    "table1_rows",
+    "theorem11_upper_bound",
+    "theorem12_lower_bound",
+    "classical_weighted_bound",
+    "PowerLawFit",
+    "fit_power_law",
+    "fit_two_parameter_power_law",
+    "render_table",
+    "format_float",
+    "WorkloadInstance",
+    "diameter_sweep_workloads",
+    "crossover_workloads",
+]

@@ -1,0 +1,185 @@
+"""Theoretical round-complexity formulas behind Table 1 of the paper.
+
+Every row of Table 1 is a bound of the form ``Õ(g(n, D))`` or ``Ω̃(g(n, D))``;
+this module provides ``g`` for each row so the benchmarks can plot measured
+round counts against the curve they are supposed to follow, and so the
+Table 1 renderer can show the landscape in one place.
+
+The rows marked "(This work)" are the paper's contributions:
+
+* upper bound ``min{n^{9/10} D^{3/10}, n}`` for weighted ``(1 + o(1))``-
+  approximate diameter and radius (Theorem 1.1), and
+* lower bound ``n^{2/3}`` for weighted ``(3/2 - ε)``-approximation, even at
+  ``D = Θ(log n)`` (Theorem 1.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+__all__ = [
+    "Table1Row",
+    "table1_rows",
+    "theorem11_upper_bound",
+    "theorem12_lower_bound",
+    "classical_weighted_bound",
+    "classical_unweighted_bound",
+    "legall_magniez_bound",
+    "chechik_mukhtar_bound",
+]
+
+BoundFormula = Callable[[int, float], float]
+
+
+def _clamp(num_nodes: int, diameter: float) -> tuple:
+    return max(2, num_nodes), max(1.0, diameter)
+
+
+def theorem11_upper_bound(num_nodes: int, diameter: float) -> float:
+    """Theorem 1.1: ``min{n^{9/10} D^{3/10}, n}`` (this paper, upper bound)."""
+    n, d = _clamp(num_nodes, diameter)
+    return min(n ** (9 / 10) * d ** (3 / 10), float(n))
+
+
+def theorem12_lower_bound(num_nodes: int, diameter: float) -> float:
+    """Theorem 1.2: ``n^{2/3}`` (this paper, lower bound; holds at ``D = Θ(log n)``)."""
+    n, _ = _clamp(num_nodes, diameter)
+    return n ** (2 / 3)
+
+
+def classical_weighted_bound(num_nodes: int, diameter: float) -> float:
+    """``Θ̃(n)`` -- classical exact/approximate weighted diameter & radius."""
+    n, _ = _clamp(num_nodes, diameter)
+    return float(n)
+
+
+def classical_unweighted_bound(num_nodes: int, diameter: float) -> float:
+    """``Θ̃(n)`` -- classical exact / (3/2-ε)-approximate unweighted diameter."""
+    n, _ = _clamp(num_nodes, diameter)
+    return float(n)
+
+
+def classical_three_halves_bound(num_nodes: int, diameter: float) -> float:
+    """``Õ(sqrt(n) + D)`` -- classical 3/2-approximation (unweighted)."""
+    n, d = _clamp(num_nodes, diameter)
+    return math.sqrt(n) + d
+
+
+def legall_magniez_bound(num_nodes: int, diameter: float) -> float:
+    """``Õ(sqrt(n·D))`` -- quantum exact unweighted diameter/radius (LG-M)."""
+    n, d = _clamp(num_nodes, diameter)
+    return math.sqrt(n * d)
+
+
+def legall_magniez_three_halves_bound(num_nodes: int, diameter: float) -> float:
+    """``Õ((nD)^{1/3} + D)`` -- quantum 3/2-approximate unweighted diameter."""
+    n, d = _clamp(num_nodes, diameter)
+    return (n * d) ** (1 / 3) + d
+
+
+def magniez_nayak_lower_bound(num_nodes: int, diameter: float) -> float:
+    """``Ω̃((nD²)^{1/3} + sqrt(n))`` -- quantum lower bound, unweighted exact."""
+    n, d = _clamp(num_nodes, diameter)
+    return (n * d * d) ** (1 / 3) + math.sqrt(n)
+
+
+def quantum_unweighted_approx_lower_bound(num_nodes: int, diameter: float) -> float:
+    """``Ω̃(sqrt(n) + D)`` -- quantum lower bound for (3/2-ε) unweighted."""
+    n, d = _clamp(num_nodes, diameter)
+    return math.sqrt(n) + d
+
+
+def chechik_mukhtar_bound(num_nodes: int, diameter: float) -> float:
+    """``Õ(sqrt(n)·D^{1/4} + D)`` -- weighted SSSP, gives a 2-approximation."""
+    n, d = _clamp(num_nodes, diameter)
+    return math.sqrt(n) * d ** (1 / 4) + d
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1.
+
+    Attributes
+    ----------
+    problem:
+        ``"diameter"`` or ``"radius"``.
+    weighted:
+        Whether the row concerns the weighted variant.
+    approximation:
+        The approximation regime, e.g. ``"exact"``, ``"3/2 - eps"``,
+        ``"(1, 3/2)"``, ``"2"``.
+    setting:
+        ``"classical"`` or ``"quantum"``.
+    kind:
+        ``"upper"`` or ``"lower"``.
+    formula:
+        The ``g(n, D)`` of the ``Õ/Ω̃(g)`` bound (``None`` for open entries).
+    source:
+        Citation string (``"This work"`` for the paper's own rows).
+    """
+
+    problem: str
+    weighted: bool
+    approximation: str
+    setting: str
+    kind: str
+    formula: Optional[BoundFormula]
+    source: str
+
+    def evaluate(self, num_nodes: int, diameter: float) -> Optional[float]:
+        """Evaluate the bound at ``(n, D)`` (``None`` for open entries)."""
+        if self.formula is None:
+            return None
+        return self.formula(num_nodes, diameter)
+
+
+def table1_rows() -> List[Table1Row]:
+    """The full landscape of Table 1 as structured data."""
+    rows: List[Table1Row] = []
+
+    def add(problem, weighted, approx, setting, kind, formula, source):
+        rows.append(
+            Table1Row(
+                problem=problem,
+                weighted=weighted,
+                approximation=approx,
+                setting=setting,
+                kind=kind,
+                formula=formula,
+                source=source,
+            )
+        )
+
+    for problem in ("diameter", "radius"):
+        # -- unweighted -------------------------------------------------- #
+        add(problem, False, "exact", "classical", "upper", classical_unweighted_bound, "[17, 22]")
+        add(problem, False, "exact", "quantum", "upper", legall_magniez_bound, "[12]")
+        add(problem, False, "exact", "classical", "lower", classical_unweighted_bound, "[11]")
+        add(problem, False, "exact", "quantum", "lower", magniez_nayak_lower_bound, "[20]")
+        add(problem, False, "3/2 - eps", "classical", "upper", classical_unweighted_bound, "[17, 22]")
+        add(problem, False, "3/2 - eps", "quantum", "upper", legall_magniez_bound, "[12]")
+        add(problem, False, "3/2 - eps", "classical", "lower", classical_unweighted_bound, "[2]")
+        add(problem, False, "3/2 - eps", "quantum", "lower", quantum_unweighted_approx_lower_bound, "[12]")
+        add(problem, False, "3/2", "classical", "upper", classical_three_halves_bound, "[15, 3]")
+        if problem == "diameter":
+            add(problem, False, "3/2", "quantum", "upper", legall_magniez_three_halves_bound, "[12]")
+
+        # -- weighted ---------------------------------------------------- #
+        add(problem, True, "exact", "classical", "upper", classical_weighted_bound, "[6]")
+        add(problem, True, "exact", "quantum", "upper", classical_weighted_bound, "[6]")
+        add(problem, True, "exact", "classical", "lower", classical_weighted_bound, "[2]")
+        add(problem, True, "exact", "quantum", "lower", theorem12_lower_bound, "This work")
+        add(problem, True, "(1, 3/2)", "classical", "upper", classical_weighted_bound, "[6]")
+        add(problem, True, "(1, 3/2)", "quantum", "upper", theorem11_upper_bound, "This work")
+        add(problem, True, "(1, 3/2)", "classical", "lower", classical_weighted_bound, "[2]")
+        add(problem, True, "(1, 3/2)", "quantum", "lower", theorem12_lower_bound, "This work")
+        add(problem, True, "2", "classical", "upper", chechik_mukhtar_bound, "[8]")
+        add(problem, True, "2", "quantum", "upper", chechik_mukhtar_bound, "[8]")
+        if problem == "diameter":
+            add(problem, True, "2 - eps", "classical", "upper", classical_weighted_bound, "[6]")
+            add(problem, True, "2 - eps", "quantum", "upper", theorem11_upper_bound, "This work")
+            add(problem, True, "2 - eps", "classical", "lower", classical_weighted_bound, "[16]")
+            add(problem, True, "2 - eps", "quantum", "lower", quantum_unweighted_approx_lower_bound, "[12]")
+    return rows

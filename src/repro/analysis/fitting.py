@@ -1,0 +1,112 @@
+"""Power-law fits for extracting scaling exponents from measured round counts.
+
+The benchmarks produce measured values ``rounds(n, D)``; what the paper's
+theorems predict is the *exponent* structure (``n^{9/10} D^{3/10}``,
+``n^{2/3}``, ``sqrt(k)``, ...).  These helpers perform ordinary least squares
+in log space:
+
+* :func:`fit_power_law` fits ``y ≈ c · x^a`` and reports ``a``, ``c`` and the
+  coefficient of determination.
+* :func:`fit_two_parameter_power_law` fits ``y ≈ c · n^a · D^b``, which the
+  Theorem 1.1 scaling experiment (E7 in DESIGN.md) uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "fit_two_parameter_power_law"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log-log least-squares fit.
+
+    Attributes
+    ----------
+    exponents:
+        The fitted exponents (one per predictor).
+    constant:
+        The multiplicative constant ``c``.
+    r_squared:
+        Coefficient of determination in log space (1 means a perfect fit).
+    """
+
+    exponents: Tuple[float, ...]
+    constant: float
+    r_squared: float
+
+    @property
+    def exponent(self) -> float:
+        """The single exponent (for one-predictor fits)."""
+        return self.exponents[0]
+
+    def predict(self, *predictors: float) -> float:
+        """Evaluate the fitted law at the given predictor values."""
+        if len(predictors) != len(self.exponents):
+            raise ValueError(
+                f"expected {len(self.exponents)} predictors, got {len(predictors)}"
+            )
+        value = self.constant
+        for base, exponent in zip(predictors, self.exponents):
+            value *= base**exponent
+        return value
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise ValueError("predictor and response lengths differ")
+    if len(xs) < 2:
+        raise ValueError("need at least two data points to fit")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits need strictly positive data")
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ c · x^a`` by least squares in log space."""
+    _validate(xs, ys)
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    design = np.column_stack([log_x, np.ones_like(log_x)])
+    solution, _, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
+    predicted = design @ solution
+    residual = float(np.sum((log_y - predicted) ** 2))
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    r_squared = 1.0 if total < 1e-15 else 1.0 - residual / total
+    return PowerLawFit(
+        exponents=(float(solution[0]),),
+        constant=float(math.exp(solution[1])),
+        r_squared=r_squared,
+    )
+
+
+def fit_two_parameter_power_law(
+    ns: Sequence[float], ds: Sequence[float], ys: Sequence[float]
+) -> PowerLawFit:
+    """Fit ``y ≈ c · n^a · D^b`` by least squares in log space.
+
+    Used by the Theorem 1.1 scaling experiment: the paper predicts
+    ``a ≈ 9/10`` and ``b ≈ 3/10`` in the regime ``D = o(n^{1/3})``.
+    """
+    if not (len(ns) == len(ds) == len(ys)):
+        raise ValueError("predictor and response lengths differ")
+    _validate(ns, ys)
+    _validate(ds, ys)
+    log_n = np.log(np.asarray(ns, dtype=float))
+    log_d = np.log(np.asarray(ds, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    design = np.column_stack([log_n, log_d, np.ones_like(log_n)])
+    solution, _, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
+    predicted = design @ solution
+    residual = float(np.sum((log_y - predicted) ** 2))
+    total = float(np.sum((log_y - log_y.mean()) ** 2))
+    r_squared = 1.0 if total < 1e-15 else 1.0 - residual / total
+    return PowerLawFit(
+        exponents=(float(solution[0]), float(solution[1])),
+        constant=float(math.exp(solution[2])),
+        r_squared=r_squared,
+    )

@@ -1,0 +1,83 @@
+"""Plain-text table rendering used by the benchmarks and EXPERIMENTS.md.
+
+The benchmark harness regenerates the paper's tables as text: measured round
+counts next to the theoretical curves, gadget verification summaries, and so
+on.  Keeping the rendering in one place makes the benchmark scripts short and
+their output uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_float", "render_table", "render_markdown_table"]
+
+
+def format_float(value: Optional[float], digits: int = 2) -> str:
+    """Human-friendly formatting for table cells (handles None and inf)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _stringify_rows(rows: Iterable[Sequence]) -> List[List[str]]:
+    out: List[List[str]] = []
+    for row in rows:
+        out.append(
+            [cell if isinstance(cell, str) else format_float(cell) for cell in row]
+        )
+    return out
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of rows; non-string cells are formatted with
+        :func:`format_float`.
+    title:
+        Optional title printed above the table.
+    """
+    string_rows = _stringify_rows(rows)
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(format_row(headers))
+    lines.append(format_row(["-" * width for width in widths]))
+    for row in string_rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Render a GitHub-flavoured markdown table (used for EXPERIMENTS.md)."""
+    string_rows = _stringify_rows(rows)
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in string_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

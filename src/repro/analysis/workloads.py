@@ -1,0 +1,143 @@
+"""Benchmark workloads: graph families with independently tunable ``n`` and ``D``.
+
+Every round-complexity bound in the paper is a function of two parameters --
+the node count ``n`` and the unweighted diameter ``D`` -- so the benchmark
+sweeps need graph families in which the two can be dialled independently:
+
+* :func:`diameter_sweep_workloads` holds ``n`` (roughly) fixed and sweeps
+  ``D`` from ``Θ(log n)`` (expander) to ``Θ(n)`` (path of cliques with many
+  small cliques), which is the axis the ``min{n^{9/10}D^{3/10}, n}`` /
+  ``sqrt(nD)`` comparison cares about.
+* :func:`crossover_workloads` sweeps both ``n`` and ``D`` over a grid so the
+  two-parameter power-law fit of experiment E7 has enough spread.
+
+All instances are weighted with i.i.d. uniform weights in ``[1, max_weight]``
+so weighted and unweighted distances genuinely differ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.congest.network import Network
+from repro.graphs.generators import (
+    low_diameter_expander,
+    path_of_cliques,
+    random_weighted_graph,
+)
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["WorkloadInstance", "diameter_sweep_workloads", "crossover_workloads"]
+
+
+@dataclass
+class WorkloadInstance:
+    """One benchmark input instance.
+
+    Attributes
+    ----------
+    name:
+        Family label, e.g. ``"expander"`` or ``"path-of-cliques[8]"``.
+    graph:
+        The weighted input graph.
+    network:
+        The graph wrapped as a CONGEST network (shared bandwidth config).
+    num_nodes / unweighted_diameter:
+        The two knobs every bound depends on.
+    """
+
+    name: str
+    graph: WeightedGraph
+    network: Network
+    num_nodes: int
+    unweighted_diameter: float
+
+    @classmethod
+    def from_graph(cls, name: str, graph: WeightedGraph) -> "WorkloadInstance":
+        """Wrap a graph, measuring its unweighted diameter once."""
+        network = Network(graph)
+        return cls(
+            name=name,
+            graph=graph,
+            network=network,
+            num_nodes=network.num_nodes,
+            unweighted_diameter=network.unweighted_diameter(),
+        )
+
+
+def diameter_sweep_workloads(
+    num_nodes: int = 48, max_weight: int = 20, seed: int = 0
+) -> List[WorkloadInstance]:
+    """Instances with (roughly) fixed ``n`` and increasing unweighted diameter ``D``.
+
+    The sweep covers an expander (``D = O(log n)``), a sparse random graph,
+    and paths of cliques with progressively more, smaller cliques
+    (``D = Θ(#cliques)``).
+    """
+    instances: List[WorkloadInstance] = []
+    instances.append(
+        WorkloadInstance.from_graph(
+            "expander",
+            low_diameter_expander(num_nodes, degree=6, max_weight=max_weight, seed=seed),
+        )
+    )
+    instances.append(
+        WorkloadInstance.from_graph(
+            "sparse-random",
+            random_weighted_graph(
+                num_nodes, average_degree=3.0, max_weight=max_weight, seed=seed + 1
+            ),
+        )
+    )
+    clique_counts = [4, 8, 12, max(16, num_nodes // 3)]
+    for count in clique_counts:
+        size = max(2, num_nodes // count)
+        instances.append(
+            WorkloadInstance.from_graph(
+                f"path-of-cliques[{count}x{size}]",
+                path_of_cliques(count, size, max_weight=max_weight, seed=seed + count),
+            )
+        )
+    return instances
+
+
+def crossover_workloads(
+    node_counts: Iterable[int] = (32, 48, 64, 96),
+    max_weight: int = 20,
+    seed: int = 0,
+) -> List[WorkloadInstance]:
+    """A grid over ``n`` and ``D`` for the two-parameter scaling fit (E7).
+
+    For each ``n`` the grid contains a low-diameter expander
+    (``D ≈ log n``), a medium-diameter path of cliques (``D ≈ n^{1/2}``)
+    and a long path of small cliques (``D ≈ n / 3``).
+    """
+    instances: List[WorkloadInstance] = []
+    for index, n in enumerate(node_counts):
+        instances.append(
+            WorkloadInstance.from_graph(
+                f"expander[n={n}]",
+                low_diameter_expander(n, degree=6, max_weight=max_weight, seed=seed + index),
+            )
+        )
+        medium = max(3, round(math.sqrt(n)))
+        instances.append(
+            WorkloadInstance.from_graph(
+                f"cliquepath-med[n={n}]",
+                path_of_cliques(
+                    medium, max(2, n // medium), max_weight=max_weight, seed=seed + 100 + index
+                ),
+            )
+        )
+        long = max(4, n // 3)
+        instances.append(
+            WorkloadInstance.from_graph(
+                f"cliquepath-long[n={n}]",
+                path_of_cliques(
+                    long, max(2, n // long), max_weight=max_weight, seed=seed + 200 + index
+                ),
+            )
+        )
+    return instances

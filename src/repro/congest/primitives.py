@@ -1,0 +1,521 @@
+"""Building-block CONGEST protocols: BFS tree, broadcast, convergecast, leader election.
+
+Every higher-level routine in the paper is phrased in terms of a handful of
+standard primitives:
+
+* building a BFS tree rooted at a designated node (``O(D)`` rounds),
+* broadcasting a value from the root to every node over that tree
+  (``O(D)`` rounds, or ``O(D + k)`` pipelined for ``k`` values),
+* converge-casting an aggregate (max / min / sum) up the tree
+  (``O(D)`` rounds), and
+* leader election (the paper simply assumes a pre-defined ``leader`` node;
+  the helper here elects the minimum identifier).
+
+All of them are implemented as genuine message-passing node programs on the
+simulator so their round counts are *measured*, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.simulator import RoundReport, SimulationResult, Simulator
+
+__all__ = [
+    "BfsTree",
+    "build_bfs_tree",
+    "broadcast_from",
+    "broadcast_values_from",
+    "convergecast_max",
+    "convergecast_min",
+    "convergecast_sum",
+    "convergecast_aggregate",
+    "gather_values_to",
+    "elect_leader",
+]
+
+
+@dataclass
+class BfsTree:
+    """A rooted BFS (breadth-first search) spanning tree of the network.
+
+    Attributes
+    ----------
+    root:
+        The root node.
+    parent:
+        Mapping node -> parent node (the root maps to ``None``).
+    depth:
+        Mapping node -> hop distance from the root.
+    children:
+        Mapping node -> list of children.
+    """
+
+    root: int
+    parent: Dict[int, Optional[int]]
+    depth: Dict[int, int]
+    children: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def height(self) -> int:
+        """The depth of the deepest node (equals the root's eccentricity)."""
+        return max(self.depth.values()) if self.depth else 0
+
+    def nodes_by_depth(self) -> List[List[int]]:
+        """Return nodes grouped by depth, shallowest first."""
+        layers: List[List[int]] = [[] for _ in range(self.height + 1)]
+        for node, depth in self.depth.items():
+            layers[depth].append(node)
+        return layers
+
+
+# --------------------------------------------------------------------------- #
+# BFS tree construction with echo-based termination detection
+# --------------------------------------------------------------------------- #
+class _BfsTreeAlgorithm(NodeAlgorithm):
+    """Flood-and-echo BFS tree construction.
+
+    Phases (all message-driven, no global knowledge beyond ``n``):
+
+    1. *Explore*: the root floods ``explore`` tokens; the first token a node
+       receives fixes its parent and depth, and the node re-floods.
+    2. *Adopt*: one round after exploring, a node tells each neighbor whether
+       it adopted it as its parent, so every node learns its children and
+       which neighbors are already covered.
+    3. *Echo*: a node whose children have all echoed (leaves echo immediately)
+       sends ``done`` to its parent.  When the root has heard ``done`` from
+       all children the tree is complete.
+    4. *Terminate*: the root floods ``stop`` down the tree and every node
+       halts after forwarding it.
+
+    Total round count is ``O(D)``.
+    """
+
+    name = "bfs-tree"
+
+    def __init__(self, root: int) -> None:
+        self._root = root
+
+    def initialize(self, ctx: NodeContext) -> None:
+        memory = ctx.memory
+        memory["parent"] = None
+        memory["depth"] = None
+        memory["children"] = []
+        memory["pending_neighbors"] = set(ctx.neighbors)
+        memory["echoed_children"] = set()
+        memory["sent_echo"] = False
+        memory["explored"] = False
+        if ctx.node == self._root:
+            memory["depth"] = 0
+            memory["explored"] = True
+            ctx.broadcast(("explore", 0), tag="bfs")
+
+    def receive(
+        self, ctx: NodeContext, round_number: int, messages: List[Message]
+    ) -> None:
+        memory = ctx.memory
+        explore_msgs = [m for m in messages if m.payload[0] == "explore"]
+        adopt_msgs = [m for m in messages if m.payload[0] == "adopt"]
+        reject_msgs = [m for m in messages if m.payload[0] == "reject"]
+        done_msgs = [m for m in messages if m.payload[0] == "done"]
+        stop_msgs = [m for m in messages if m.payload[0] == "stop"]
+
+        # Phase 1: adopt a parent on the first explore token received.
+        if not memory["explored"] and explore_msgs:
+            best = min(explore_msgs, key=lambda m: (m.payload[1], m.sender))
+            memory["parent"] = best.sender
+            memory["depth"] = best.payload[1] + 1
+            memory["explored"] = True
+            ctx.send(best.sender, ("adopt",), tag="bfs")
+            for message in explore_msgs:
+                if message.sender != best.sender:
+                    ctx.send(message.sender, ("reject",), tag="bfs")
+            for neighbor in ctx.neighbors:
+                if neighbor not in {m.sender for m in explore_msgs}:
+                    ctx.send(neighbor, ("explore", memory["depth"]), tag="bfs")
+            memory["pending_neighbors"] -= {m.sender for m in explore_msgs}
+        elif memory["explored"] and explore_msgs:
+            # Already in the tree: decline late explore offers.
+            for message in explore_msgs:
+                ctx.send(message.sender, ("reject",), tag="bfs")
+                memory["pending_neighbors"].discard(message.sender)
+
+        # Phase 2: record children and covered neighbors.
+        for message in adopt_msgs:
+            memory["children"].append(message.sender)
+            memory["pending_neighbors"].discard(message.sender)
+        for message in reject_msgs:
+            memory["pending_neighbors"].discard(message.sender)
+
+        # Phase 3: echo completion up the tree.
+        for message in done_msgs:
+            memory["echoed_children"].add(message.sender)
+
+        if (
+            memory["explored"]
+            and not memory["sent_echo"]
+            and not memory["pending_neighbors"]
+            and set(memory["children"]) <= memory["echoed_children"]
+        ):
+            memory["sent_echo"] = True
+            if ctx.node == self._root:
+                # Tree complete: start the termination wave.
+                for child in memory["children"]:
+                    ctx.send(child, ("stop",), tag="bfs")
+                ctx.halt()
+            else:
+                ctx.send(memory["parent"], ("done",), tag="bfs")
+
+        # Phase 4: forward the stop wave and halt.
+        if stop_msgs:
+            for child in memory["children"]:
+                ctx.send(child, ("stop",), tag="bfs")
+            ctx.halt()
+
+    def output(self, ctx: NodeContext) -> Any:
+        return {
+            "parent": ctx.memory["parent"],
+            "depth": ctx.memory["depth"],
+            "children": list(ctx.memory["children"]),
+        }
+
+
+def build_bfs_tree(network: Network, root: int) -> Tuple[BfsTree, RoundReport]:
+    """Construct a BFS tree rooted at ``root`` and return it with its round cost."""
+    if root not in network.graph:
+        raise KeyError(f"root {root} is not a node of the network")
+    simulator = Simulator(network)
+    result = simulator.run(_BfsTreeAlgorithm(root))
+    parent = {node: out["parent"] for node, out in result.outputs.items()}
+    depth = {node: out["depth"] for node, out in result.outputs.items()}
+    children = {node: out["children"] for node, out in result.outputs.items()}
+    missing = [node for node, d in depth.items() if d is None]
+    if missing:
+        raise RuntimeError(f"BFS tree did not reach nodes {missing}")
+    tree = BfsTree(root=root, parent=parent, depth=depth, children=children)
+    return tree, result.report
+
+
+# --------------------------------------------------------------------------- #
+# Broadcast over an existing BFS tree
+# --------------------------------------------------------------------------- #
+class _TreeBroadcastAlgorithm(NodeAlgorithm):
+    """Pipeline a list of values from the root down an existing BFS tree."""
+
+    name = "tree-broadcast"
+
+    def __init__(self, tree: BfsTree, values: List[Any]) -> None:
+        self._tree = tree
+        self._values = list(values)
+
+    def initialize(self, ctx: NodeContext) -> None:
+        ctx.memory["received"] = []
+        ctx.memory["expected"] = len(self._values)
+        ctx.memory["children"] = self._tree.children.get(ctx.node, [])
+        if ctx.node == self._tree.root:
+            ctx.memory["received"] = list(self._values)
+            for index, value in enumerate(self._values):
+                for child in ctx.memory["children"]:
+                    ctx.send(child, ("bc", index, value), tag="bcast")
+            if not ctx.memory["children"] or not self._values:
+                ctx.halt()
+            ctx.memory["forwarded"] = len(self._values)
+
+    def receive(
+        self, ctx: NodeContext, round_number: int, messages: List[Message]
+    ) -> None:
+        memory = ctx.memory
+        for message in messages:
+            _, index, value = message.payload
+            memory["received"].append(value)
+            for child in memory["children"]:
+                ctx.send(child, ("bc", index, value), tag="bcast")
+        if len(memory["received"]) >= memory["expected"]:
+            ctx.halt()
+
+    def output(self, ctx: NodeContext) -> Any:
+        return list(ctx.memory["received"])
+
+
+def broadcast_from(
+    network: Network,
+    root: int,
+    value: Any,
+    tree: Optional[BfsTree] = None,
+) -> Tuple[Dict[int, Any], RoundReport]:
+    """Broadcast a single value from ``root`` to every node.
+
+    Returns the value as received by each node and the round report
+    (including the BFS-tree construction cost when no tree is supplied).
+    """
+    received, report = broadcast_values_from(network, root, [value], tree=tree)
+    return {node: values[0] for node, values in received.items()}, report
+
+
+def broadcast_values_from(
+    network: Network,
+    root: int,
+    values: List[Any],
+    tree: Optional[BfsTree] = None,
+) -> Tuple[Dict[int, List[Any]], RoundReport]:
+    """Pipeline ``values`` from ``root`` to all nodes in ``O(D + len(values))`` rounds."""
+    reports: List[RoundReport] = []
+    if tree is None:
+        tree, tree_report = build_bfs_tree(network, root)
+        reports.append(tree_report)
+    simulator = Simulator(network)
+    result = simulator.run(_TreeBroadcastAlgorithm(tree, values))
+    reports.append(result.report)
+    return result.outputs, RoundReport.sequential(reports)
+
+
+# --------------------------------------------------------------------------- #
+# Convergecast over an existing BFS tree
+# --------------------------------------------------------------------------- #
+class _ConvergecastAlgorithm(NodeAlgorithm):
+    """Aggregate per-node values up an existing BFS tree to the root."""
+
+    name = "convergecast"
+
+    def __init__(self, tree: BfsTree, values: Dict[int, Any], combine) -> None:
+        self._tree = tree
+        self._values = values
+        self._combine = combine
+
+    def initialize(self, ctx: NodeContext) -> None:
+        memory = ctx.memory
+        memory["children"] = list(self._tree.children.get(ctx.node, []))
+        memory["pending"] = set(memory["children"])
+        memory["accumulator"] = self._values[ctx.node]
+        memory["parent"] = self._tree.parent.get(ctx.node)
+        if not memory["pending"]:
+            self._emit(ctx)
+
+    def _emit(self, ctx: NodeContext) -> None:
+        memory = ctx.memory
+        if ctx.node == self._tree.root:
+            memory["result"] = memory["accumulator"]
+        else:
+            ctx.send(memory["parent"], ("agg", memory["accumulator"]), tag="cc")
+        ctx.halt()
+
+    def receive(
+        self, ctx: NodeContext, round_number: int, messages: List[Message]
+    ) -> None:
+        memory = ctx.memory
+        for message in messages:
+            _, value = message.payload
+            memory["accumulator"] = self._combine(memory["accumulator"], value)
+            memory["pending"].discard(message.sender)
+        if not memory["pending"]:
+            self._emit(ctx)
+
+    def output(self, ctx: NodeContext) -> Any:
+        return ctx.memory.get("result")
+
+
+def convergecast_aggregate(
+    network: Network,
+    values: Dict[int, Any],
+    combine,
+    tree: Optional[BfsTree] = None,
+    root: Optional[int] = None,
+) -> Tuple[Any, RoundReport]:
+    """Aggregate ``values`` (one per node) to the root with ``combine``.
+
+    ``combine`` must be associative and commutative (max, min, +, ...).
+    """
+    reports: List[RoundReport] = []
+    if tree is None:
+        if root is None:
+            root = min(network.nodes)
+        tree, tree_report = build_bfs_tree(network, root)
+        reports.append(tree_report)
+    missing = [node for node in network.nodes if node not in values]
+    if missing:
+        raise ValueError(f"convergecast is missing values for nodes {missing}")
+    simulator = Simulator(network)
+    result = simulator.run(_ConvergecastAlgorithm(tree, values, combine))
+    reports.append(result.report)
+    return result.outputs[tree.root], RoundReport.sequential(reports)
+
+
+def convergecast_max(
+    network: Network,
+    values: Dict[int, Any],
+    tree: Optional[BfsTree] = None,
+    root: Optional[int] = None,
+) -> Tuple[Any, RoundReport]:
+    """Compute the maximum of the per-node values at the root."""
+    return convergecast_aggregate(network, values, max, tree=tree, root=root)
+
+
+def convergecast_min(
+    network: Network,
+    values: Dict[int, Any],
+    tree: Optional[BfsTree] = None,
+    root: Optional[int] = None,
+) -> Tuple[Any, RoundReport]:
+    """Compute the minimum of the per-node values at the root."""
+    return convergecast_aggregate(network, values, min, tree=tree, root=root)
+
+
+def convergecast_sum(
+    network: Network,
+    values: Dict[int, Any],
+    tree: Optional[BfsTree] = None,
+    root: Optional[int] = None,
+) -> Tuple[Any, RoundReport]:
+    """Compute the sum of the per-node values at the root."""
+    return convergecast_aggregate(
+        network, values, lambda a, b: a + b, tree=tree, root=root
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Pipelined gather (upcast) over an existing BFS tree
+# --------------------------------------------------------------------------- #
+class _TreeGatherAlgorithm(NodeAlgorithm):
+    """Pipeline per-node records up an existing BFS tree to the root.
+
+    Every node owns a (possibly empty) list of records; each round a node
+    forwards at most one record to its parent, so the total cost is
+    ``O(depth + total records)`` rounds -- the standard pipelined upcast.
+    A node signals completion to its parent with an ``end`` marker once its
+    own queue is empty and all children have signalled.
+    """
+
+    name = "tree-gather"
+
+    def __init__(self, tree: BfsTree, records: Dict[int, List[Any]]) -> None:
+        self._tree = tree
+        self._records = records
+
+    def initialize(self, ctx: NodeContext) -> None:
+        memory = ctx.memory
+        memory["queue"] = list(self._records.get(ctx.node, []))
+        memory["collected"] = list(self._records.get(ctx.node, []))
+        memory["children_pending"] = set(self._tree.children.get(ctx.node, []))
+        memory["parent"] = self._tree.parent.get(ctx.node)
+        memory["sent_end"] = False
+        self._step(ctx)
+
+    def _step(self, ctx: NodeContext) -> None:
+        memory = ctx.memory
+        is_root = ctx.node == self._tree.root
+        if memory["queue"] and not is_root:
+            record = memory["queue"].pop(0)
+            ctx.send(memory["parent"], ("rec", record), tag="gather")
+            return
+        if not memory["children_pending"] and not memory["queue"]:
+            if is_root:
+                ctx.halt()
+            elif not memory["sent_end"]:
+                memory["sent_end"] = True
+                ctx.send(memory["parent"], ("end",), tag="gather")
+                ctx.halt()
+
+    def receive(
+        self, ctx: NodeContext, round_number: int, messages: List[Message]
+    ) -> None:
+        memory = ctx.memory
+        for message in messages:
+            if message.payload[0] == "rec":
+                record = message.payload[1]
+                memory["queue"].append(record)
+                if ctx.node == self._tree.root:
+                    memory["collected"].append(record)
+            else:
+                memory["children_pending"].discard(message.sender)
+        if ctx.node == self._tree.root:
+            # The root only accumulates; drain its queue bookkeeping.
+            memory["queue"] = []
+        self._step(ctx)
+
+    def output(self, ctx: NodeContext) -> Any:
+        return list(ctx.memory["collected"])
+
+
+def gather_values_to(
+    network: Network,
+    root: int,
+    records: Dict[int, List[Any]],
+    tree: Optional[BfsTree] = None,
+) -> Tuple[List[Any], RoundReport]:
+    """Gather per-node record lists to ``root`` in ``O(D + total records)`` rounds.
+
+    Returns the list of records collected at the root (the root's own records
+    first, then the others in arrival order) and the measured round cost.
+    """
+    reports: List[RoundReport] = []
+    if tree is None:
+        tree, tree_report = build_bfs_tree(network, root)
+        reports.append(tree_report)
+    if tree.root != root:
+        raise ValueError("the supplied BFS tree is rooted elsewhere")
+    simulator = Simulator(network)
+    result = simulator.run(_TreeGatherAlgorithm(tree, records))
+    reports.append(result.report)
+    return result.outputs[root], RoundReport.sequential(reports)
+
+
+# --------------------------------------------------------------------------- #
+# Leader election
+# --------------------------------------------------------------------------- #
+class _MinIdFloodAlgorithm(NodeAlgorithm):
+    """Flood the minimum node identifier for a fixed number of rounds."""
+
+    name = "leader-election"
+
+    def __init__(self, round_budget: int) -> None:
+        self._round_budget = round_budget
+
+    def initialize(self, ctx: NodeContext) -> None:
+        ctx.memory["best"] = ctx.node
+        ctx.broadcast(("min", ctx.node), tag="lead")
+
+    def receive(
+        self, ctx: NodeContext, round_number: int, messages: List[Message]
+    ) -> None:
+        memory = ctx.memory
+        improved = False
+        for message in messages:
+            _, candidate = message.payload
+            if candidate < memory["best"]:
+                memory["best"] = candidate
+                improved = True
+        if round_number >= self._round_budget:
+            ctx.halt()
+            return
+        if improved:
+            ctx.broadcast(("min", memory["best"]), tag="lead")
+
+    def output(self, ctx: NodeContext) -> Any:
+        return ctx.memory["best"]
+
+
+def elect_leader(
+    network: Network, diameter_bound: Optional[int] = None
+) -> Tuple[int, RoundReport]:
+    """Elect the minimum node identifier as leader.
+
+    The paper simply assumes a pre-defined leader; this helper exists so the
+    example applications can start from nothing.  The flood runs for
+    ``diameter_bound`` rounds (every node knows ``n``, so ``n - 1`` is always
+    a safe default; pass the unweighted diameter when it is known to get the
+    ``O(D)`` behaviour).
+    """
+    budget = diameter_bound if diameter_bound is not None else max(1, network.num_nodes - 1)
+    simulator = Simulator(network)
+    result = simulator.run(_MinIdFloodAlgorithm(budget))
+    leaders = set(result.outputs.values())
+    if len(leaders) != 1:
+        raise RuntimeError(
+            "leader election did not converge; increase diameter_bound "
+            f"(got candidates {sorted(leaders)})"
+        )
+    return result.outputs[min(network.nodes)], result.report

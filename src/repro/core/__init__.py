@@ -1,0 +1,59 @@
+"""The paper's primary contribution: quantum approximation of weighted diameter/radius.
+
+* :mod:`repro.core.parameters` -- the parameter choices of Eq. (1)
+  (``ε = 1/log n``, ``r = n^{2/5} D^{-1/5}``, ``ℓ = n log n / r``,
+  ``k = sqrt(D)``), plus a faster benchmarking profile.
+* :mod:`repro.core.diameter_radius` -- the Theorem 1.1 algorithm:
+  ``quantum_weighted_diameter`` and ``quantum_weighted_radius``, the
+  two-level distributed quantum search over skeleton sets, with measured
+  round charges assembled per Lemma 3.1 / Lemma 3.5.
+* :mod:`repro.core.baselines` -- classical CONGEST baselines (exact APSP
+  diameter/radius, the SSSP-based 2-approximation) with measured rounds.
+* :mod:`repro.core.legall_magniez` -- round-cost models for the Le
+  Gall-Magniez quantum algorithms on *unweighted* graphs (the
+  ``Õ(sqrt(nD))`` rows of Table 1), used for the quantum-vs-quantum
+  comparison that Theorem 1.2 is about.
+"""
+
+from repro.core.parameters import AlgorithmParameters, ParameterProfile
+from repro.core.diameter_radius import (
+    ApproximationResult,
+    quantum_weighted_diameter,
+    quantum_weighted_radius,
+)
+from repro.core.baselines import (
+    BaselineResult,
+    classical_exact_diameter,
+    classical_exact_radius,
+    sssp_two_approximation_diameter,
+    sssp_upper_bound_radius,
+)
+from repro.core.legall_magniez import (
+    legall_magniez_unweighted_diameter_rounds,
+    legall_magniez_unweighted_radius_rounds,
+    legall_magniez_three_halves_diameter_rounds,
+)
+from repro.core.naive import (
+    NaiveSearchResult,
+    naive_quantum_diameter,
+    naive_quantum_radius,
+)
+
+__all__ = [
+    "AlgorithmParameters",
+    "ParameterProfile",
+    "ApproximationResult",
+    "quantum_weighted_diameter",
+    "quantum_weighted_radius",
+    "BaselineResult",
+    "classical_exact_diameter",
+    "classical_exact_radius",
+    "sssp_two_approximation_diameter",
+    "sssp_upper_bound_radius",
+    "legall_magniez_unweighted_diameter_rounds",
+    "legall_magniez_unweighted_radius_rounds",
+    "legall_magniez_three_halves_diameter_rounds",
+    "NaiveSearchResult",
+    "naive_quantum_diameter",
+    "naive_quantum_radius",
+]

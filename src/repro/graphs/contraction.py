@@ -1,0 +1,115 @@
+"""Edge contraction used by Lemma 4.3 of the paper.
+
+Lemma 4.3 relates the diameter/radius of a weighted graph ``(G, w)`` to that
+of the graph ``G'`` obtained by *contracting every edge of weight 1*:
+
+    ``D_{G'} <= D_G <= D_{G'} + n``     and     ``R_{G'} <= R_G <= R_{G'} + n``.
+
+The lower-bound gadgets in Section 4 are analysed on the contracted graph
+(Figures 3 and 4, Table 2), so we need a faithful contraction routine:
+endpoints of a contracted edge are merged, incident edges follow the merged
+node, and parallel edges keep only the lowest weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["ContractionResult", "contract_edges", "contract_unit_weight_edges"]
+
+
+@dataclass
+class ContractionResult:
+    """The outcome of contracting a set of edges.
+
+    Attributes
+    ----------
+    graph:
+        The contracted graph.  Each node of the contracted graph is the
+        *representative* (smallest original label) of its merged class.
+    representative:
+        Mapping from every original node to the representative of the merged
+        super-node that contains it.
+    classes:
+        Mapping from each representative to the sorted list of original nodes
+        merged into it.
+    """
+
+    graph: WeightedGraph
+    representative: Dict[int, int]
+    classes: Dict[int, List[int]] = field(default_factory=dict)
+
+    def super_node_of(self, original_node: int) -> int:
+        """Return the contracted node that contains ``original_node``."""
+        return self.representative[original_node]
+
+
+class _UnionFind:
+    """Minimal union-find with path compression used by the contraction."""
+
+    def __init__(self, elements) -> None:
+        self._parent = {element: element for element in elements}
+
+    def find(self, element: int) -> int:
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        # Keep the smaller label as the root so representatives are stable.
+        if root_b < root_a:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+
+
+def contract_edges(
+    graph: WeightedGraph, should_contract: Callable[[int, int, int], bool]
+) -> ContractionResult:
+    """Contract every edge ``(u, v, w)`` for which ``should_contract`` is true.
+
+    Contraction merges the two endpoints; after all merges, edges between
+    distinct super-nodes are kept with the minimum weight among the parallel
+    originals, and edges internal to a super-node disappear.
+    """
+    union = _UnionFind(graph.nodes)
+    for u, v, w in graph.edges():
+        if should_contract(u, v, w):
+            union.union(u, v)
+
+    representative = {node: union.find(node) for node in graph.nodes}
+    classes: Dict[int, List[int]] = {}
+    for node, rep in representative.items():
+        classes.setdefault(rep, []).append(node)
+    for members in classes.values():
+        members.sort()
+
+    contracted = WeightedGraph(nodes=classes.keys())
+    best_weight: Dict[tuple, int] = {}
+    for u, v, w in graph.edges():
+        ru, rv = representative[u], representative[v]
+        if ru == rv:
+            continue
+        key = (ru, rv) if ru < rv else (rv, ru)
+        if key not in best_weight or w < best_weight[key]:
+            best_weight[key] = w
+    for (ru, rv), w in best_weight.items():
+        contracted.add_edge(ru, rv, w)
+
+    return ContractionResult(
+        graph=contracted, representative=representative, classes=classes
+    )
+
+
+def contract_unit_weight_edges(graph: WeightedGraph) -> ContractionResult:
+    """Contract all edges of weight exactly 1, as required by Lemma 4.3."""
+    return contract_edges(graph, lambda u, v, w: w == 1)

@@ -1,0 +1,89 @@
+"""Lower-bound machinery of Section 4: Server model, gadgets, approximate degree.
+
+Theorem 1.2 (``Ω̃(n^{2/3})`` rounds for ``(3/2 - ε)``-approximating weighted
+diameter/radius, even at ``D = Θ(log n)``) is proved by a chain of
+reductions; every link of that chain is implemented and checkable here:
+
+* :mod:`repro.lower_bounds.functions` -- the Boolean functions involved:
+  ``VER``, ``GDT = OR₄ ∘ AND₂⁴``, the diameter function
+  ``F = AND_{2^s} ∘ (OR_ℓ ∘ AND₂^ℓ)`` and the radius function
+  ``F' = OR_{2^s·ℓ} ∘ AND₂``, together with read-once formula structures.
+* :mod:`repro.lower_bounds.approx_degree` -- ε-approximate degree via linear
+  programming (general and symmetric variants), verifying
+  ``deg_{1/3}(f) = Θ(sqrt(k))`` for read-once formulas (Lemma 4.6) on small
+  instances.
+* :mod:`repro.lower_bounds.gadgets` -- the graph constructions of Figures
+  1, 2 and 4, parameterised by ``h, s, ℓ, α, β`` (Eq. (2) gives the paper's
+  choices), with node-role bookkeeping and the contraction view of Figure 3.
+* :mod:`repro.lower_bounds.server_model` -- the Server model of two-party
+  communication and the round-by-round simulation of a CONGEST algorithm on
+  the gadget (Lemma 4.1), with *measured* Alice/Bob communication.
+* :mod:`repro.lower_bounds.reduction` -- the assembled Theorems 4.2 / 4.8:
+  gap verification (Lemmas 4.4 and 4.9), the communication lower bound for
+  ``F`` and ``F'`` (Lemmas 4.7 and 4.10), and the final
+  ``Ω(n^{2/3}/log² n)`` round bound driven by the measured ingredients.
+"""
+
+from repro.lower_bounds.functions import (
+    ver_function,
+    gdt_function,
+    diameter_hardness_function,
+    radius_hardness_function,
+    ReadOnceFormula,
+    and_formula,
+    or_formula,
+)
+from repro.lower_bounds.approx_degree import (
+    approximate_degree,
+    symmetric_approximate_degree,
+    approximate_degree_lower_bound_read_once,
+)
+from repro.lower_bounds.gadgets import (
+    GadgetParameters,
+    BaseGadget,
+    build_base_gadget,
+    DiameterGadget,
+    build_diameter_gadget,
+    RadiusGadget,
+    build_radius_gadget,
+)
+from repro.lower_bounds.server_model import (
+    ServerModelTranscript,
+    simulate_congest_on_gadget,
+    server_model_complexity_lower_bound,
+)
+from repro.lower_bounds.reduction import (
+    verify_diameter_gap,
+    verify_radius_gap,
+    diameter_round_lower_bound,
+    radius_round_lower_bound,
+    LowerBoundCertificate,
+)
+
+__all__ = [
+    "ver_function",
+    "gdt_function",
+    "diameter_hardness_function",
+    "radius_hardness_function",
+    "ReadOnceFormula",
+    "and_formula",
+    "or_formula",
+    "approximate_degree",
+    "symmetric_approximate_degree",
+    "approximate_degree_lower_bound_read_once",
+    "GadgetParameters",
+    "BaseGadget",
+    "build_base_gadget",
+    "DiameterGadget",
+    "build_diameter_gadget",
+    "RadiusGadget",
+    "build_radius_gadget",
+    "ServerModelTranscript",
+    "simulate_congest_on_gadget",
+    "server_model_complexity_lower_bound",
+    "verify_diameter_gap",
+    "verify_radius_gap",
+    "diameter_round_lower_bound",
+    "radius_round_lower_bound",
+    "LowerBoundCertificate",
+]

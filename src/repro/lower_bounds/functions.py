@@ -1,0 +1,222 @@
+"""Boolean functions and read-once formulas used by the Section 4 reductions.
+
+The lower bounds reduce the approximation of weighted diameter/radius to the
+two-party (Server-model) complexity of:
+
+* ``F(x, y)  = AND_{i ∈ [2^s]} ( OR_{j ∈ [ℓ]} ( x_{i,j} AND y_{i,j} ) )``
+  -- the diameter function of Lemma 4.4, a read-once ``AND ∘ OR`` composed
+  with the two-party ``AND₂`` on each coordinate pair;
+* ``F'(x, y) = OR_{i ∈ [2^s], j ∈ [ℓ]} ( x_{i,j} AND y_{i,j} )``
+  -- the radius function of Lemma 4.9 (set disjointness, negated).
+
+Both are of the form ``f ∘ GDT^{k/4}`` where ``GDT = OR₄ ∘ AND₂⁴`` and ``f``
+is a read-once formula; ``VER`` is the promise version of ``GDT`` used by the
+lifting theorem (Lemma 4.5).  This module provides concrete evaluators, the
+indexing helpers for the ``x_{i,j}`` layout, and a tiny read-once-formula
+class used by the approximate-degree experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = [
+    "ver_function",
+    "gdt_function",
+    "pair_index",
+    "diameter_hardness_function",
+    "radius_hardness_function",
+    "ReadOnceFormula",
+    "and_formula",
+    "or_formula",
+    "compose_read_once",
+]
+
+
+def ver_function(x: int, y: int) -> int:
+    """The promise function ``VER`` of Lemma 4.5.
+
+    ``VER(x, y) = 1`` iff ``x + y ≡ 0 or 1 (mod 4)`` for ``x, y ∈ {0,1,2,3}``.
+    """
+    if not 0 <= x <= 3 or not 0 <= y <= 3:
+        raise ValueError("VER is defined on {0,1,2,3} x {0,1,2,3}")
+    return 1 if (x + y) % 4 in (0, 1) else 0
+
+
+def gdt_function(x_bits: Sequence[int], y_bits: Sequence[int]) -> int:
+    """``GDT = OR₄ ∘ AND₂⁴``: 1 iff some coordinate has ``x_i = y_i = 1``.
+
+    ``VER`` is a promise restriction of this function (Lemma 4.7's proof):
+    when ``x`` is the indicator of two cyclically adjacent positions and ``y``
+    the indicator of a single position, ``GDT`` computes exactly ``VER``.
+    """
+    if len(x_bits) != 4 or len(y_bits) != 4:
+        raise ValueError("GDT takes two 4-bit inputs")
+    return 1 if any(a == 1 and b == 1 for a, b in zip(x_bits, y_bits)) else 0
+
+
+def pair_index(i: int, j: int, ell: int) -> int:
+    """Flat index of the coordinate ``(i, j)`` with ``i ∈ [0, 2^s)`` and ``j ∈ [0, ℓ)``.
+
+    The paper indexes ``x`` by ``x_{i,j}`` for ``i ∈ [1, 2^s]``, ``j ∈ [1, ℓ]``;
+    we use zero-based indices throughout the code.
+    """
+    if j < 0 or j >= ell:
+        raise ValueError(f"j={j} out of range [0, {ell})")
+    if i < 0:
+        raise ValueError(f"i={i} must be non-negative")
+    return i * ell + j
+
+
+def diameter_hardness_function(
+    x: Sequence[int], y: Sequence[int], num_blocks: int, ell: int
+) -> int:
+    """``F(x, y) = AND_i OR_j (x_{i,j} AND y_{i,j})`` of Lemma 4.4.
+
+    Parameters
+    ----------
+    x, y:
+        Bit strings of length ``num_blocks * ell`` (Alice's and Bob's inputs).
+    num_blocks:
+        The outer fan-in ``2^s``.
+    ell:
+        The inner fan-in ``ℓ``.
+    """
+    expected = num_blocks * ell
+    if len(x) != expected or len(y) != expected:
+        raise ValueError(f"inputs must have length {expected}")
+    for i in range(num_blocks):
+        block_hit = False
+        for j in range(ell):
+            index = pair_index(i, j, ell)
+            if x[index] == 1 and y[index] == 1:
+                block_hit = True
+                break
+        if not block_hit:
+            return 0
+    return 1
+
+
+def radius_hardness_function(
+    x: Sequence[int], y: Sequence[int], num_blocks: int, ell: int
+) -> int:
+    """``F'(x, y) = OR_{i,j} (x_{i,j} AND y_{i,j})`` of Lemma 4.9."""
+    expected = num_blocks * ell
+    if len(x) != expected or len(y) != expected:
+        raise ValueError(f"inputs must have length {expected}")
+    return (
+        1
+        if any(a == 1 and b == 1 for a, b in zip(x, y))
+        else 0
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Read-once formulas
+# --------------------------------------------------------------------------- #
+@dataclass
+class ReadOnceFormula:
+    """A read-once formula over AND / OR gates (each variable appears once).
+
+    Attributes
+    ----------
+    gate:
+        ``"var"``, ``"and"``, ``"or"`` or ``"not"``.
+    variable:
+        The variable index when ``gate == "var"``.
+    children:
+        The sub-formulas of an ``and`` / ``or`` / ``not`` gate.
+    """
+
+    gate: str
+    variable: int = -1
+    children: List["ReadOnceFormula"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.gate not in ("var", "and", "or", "not"):
+            raise ValueError(f"unknown gate {self.gate!r}")
+        if self.gate == "var" and self.variable < 0:
+            raise ValueError("a leaf needs a non-negative variable index")
+        if self.gate == "not" and len(self.children) != 1:
+            raise ValueError("a NOT gate needs exactly one child")
+        if self.gate in ("and", "or") and not self.children:
+            raise ValueError(f"an {self.gate.upper()} gate needs children")
+
+    # ------------------------------------------------------------------ #
+    def variables(self) -> List[int]:
+        """All variable indices, in leaf order."""
+        if self.gate == "var":
+            return [self.variable]
+        out: List[int] = []
+        for child in self.children:
+            out.extend(child.variables())
+        return out
+
+    @property
+    def num_variables(self) -> int:
+        """Number of (distinct) variables in the formula."""
+        return len(self.variables())
+
+    def is_read_once(self) -> bool:
+        """Check that each variable appears exactly once."""
+        seen = self.variables()
+        return len(seen) == len(set(seen))
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        """Evaluate the formula on a 0/1 assignment (indexed by variable)."""
+        if self.gate == "var":
+            return 1 if assignment[self.variable] else 0
+        if self.gate == "not":
+            return 1 - self.children[0].evaluate(assignment)
+        values = [child.evaluate(assignment) for child in self.children]
+        if self.gate == "and":
+            return 1 if all(values) else 0
+        return 1 if any(values) else 0
+
+    def as_callable(self) -> Callable[[Sequence[int]], int]:
+        """Return ``self.evaluate`` as a plain function on assignments."""
+        return self.evaluate
+
+
+def and_formula(num_vars: int, offset: int = 0) -> ReadOnceFormula:
+    """``AND`` of ``num_vars`` fresh variables starting at ``offset``."""
+    if num_vars < 1:
+        raise ValueError("an AND needs at least one variable")
+    leaves = [ReadOnceFormula("var", variable=offset + i) for i in range(num_vars)]
+    if num_vars == 1:
+        return leaves[0]
+    return ReadOnceFormula("and", children=leaves)
+
+
+def or_formula(num_vars: int, offset: int = 0) -> ReadOnceFormula:
+    """``OR`` of ``num_vars`` fresh variables starting at ``offset``."""
+    if num_vars < 1:
+        raise ValueError("an OR needs at least one variable")
+    leaves = [ReadOnceFormula("var", variable=offset + i) for i in range(num_vars)]
+    if num_vars == 1:
+        return leaves[0]
+    return ReadOnceFormula("or", children=leaves)
+
+
+def compose_read_once(
+    outer_gate: str, fan_in: int, inner_factory: Callable[[int], ReadOnceFormula]
+) -> ReadOnceFormula:
+    """Build ``gate(inner_0, ..., inner_{fan_in - 1})`` with disjoint variables.
+
+    ``inner_factory(offset)`` must return a read-once formula whose variables
+    start at ``offset`` and are consecutive; the offsets are advanced so the
+    composition stays read-once.  This is how the experiments build
+    ``f = AND_{2^s} ∘ OR_ℓ`` (Lemma 4.7) and ``f' = OR_k`` (Lemma 4.10).
+    """
+    if outer_gate not in ("and", "or"):
+        raise ValueError("outer_gate must be 'and' or 'or'")
+    children: List[ReadOnceFormula] = []
+    offset = 0
+    for _ in range(fan_in):
+        child = inner_factory(offset)
+        children.append(child)
+        offset += child.num_variables
+    if fan_in == 1:
+        return children[0]
+    return ReadOnceFormula(outer_gate, children=children)

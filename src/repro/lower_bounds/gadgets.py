@@ -1,0 +1,478 @@
+"""The lower-bound gadget graphs of Figures 1, 2 and 4.
+
+The hardness of ``(3/2 - ε)``-approximating the weighted diameter/radius is
+shown on a family of graphs ``G = (V_S ⊎ V_A ⊎ V_B, E)``:
+
+* ``G[V_S]`` (Figure 1) consists of a full binary tree of height ``h`` and
+  ``m`` disjoint paths of ``2^h`` nodes each; leaf ``j`` of the tree is
+  connected to the ``j``-th node of *every* path, which keeps the unweighted
+  diameter at ``Θ(h) = Θ(log n)``.
+* ``G[V_A]`` / ``G[V_B]`` (Figure 2) encode Alice's input ``x`` and Bob's
+  input ``y``: block nodes ``a_i`` / ``b_i``, selector nodes ``a_j^0, a_j^1``
+  / ``b_j^0, b_j^1`` and star nodes ``a*_j`` / ``b*_j``, with the red edges
+  ``{a_i, a*_j}`` weighted ``α`` when ``x_{i,j} = 1`` and ``β`` otherwise
+  (similarly for ``y``).
+* The radius gadget (Figure 4) additionally has a hub ``a_0`` attached to
+  every ``a_i`` with weight ``2α``.
+
+Lemma 4.4 / 4.9 then relate ``F(x, y)`` / ``F'(x, y)`` to the diameter /
+radius of the weighted graph, with a multiplicative gap of ``3/2``; the
+contraction of all weight-1 edges (Lemma 4.3 / Figure 3) is what makes the
+analysis tractable, and Table 2 lists the pairwise distances in the
+contracted graph.
+
+The builders below are parameterised by ``(h, num_blocks, ℓ, α, β)`` so the
+tests can verify the constructions exhaustively on small instances while the
+benchmarks instantiate the paper's own choices (Eq. (2):
+``s = 3h/2``, ``ℓ = 2^{s-h}``, ``num_blocks = 2^s``, ``α = n²``,
+``β = 2n²``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.lower_bounds.functions import (
+    diameter_hardness_function,
+    pair_index,
+    radius_hardness_function,
+)
+
+__all__ = [
+    "GadgetParameters",
+    "BaseGadget",
+    "build_base_gadget",
+    "DiameterGadget",
+    "build_diameter_gadget",
+    "RadiusGadget",
+    "build_radius_gadget",
+]
+
+
+@dataclass(frozen=True)
+class GadgetParameters:
+    """Size parameters of the lower-bound gadgets.
+
+    Attributes
+    ----------
+    height:
+        The binary-tree height ``h``.
+    num_blocks:
+        The number of block nodes ``a_i`` (the paper uses ``2^s``).
+    ell:
+        The number of star nodes ``a*_j`` per side (the inner OR fan-in).
+    alpha / beta:
+        The two weight levels of the input-dependent edges (``α < β``).
+    """
+
+    height: int
+    num_blocks: int
+    ell: int
+    alpha: int
+    beta: int
+
+    def __post_init__(self) -> None:
+        if self.height < 1:
+            raise ValueError("height must be at least 1")
+        if self.num_blocks < 2:
+            raise ValueError("num_blocks must be at least 2")
+        if self.ell < 1:
+            raise ValueError("ell must be at least 1")
+        if self.alpha < 1 or self.beta <= self.alpha:
+            raise ValueError("weights must satisfy 1 <= alpha < beta")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_selector_pairs(self) -> int:
+        """The number ``s`` of selector pairs (``ceil(log2(num_blocks))``)."""
+        return max(1, math.ceil(math.log2(self.num_blocks)))
+
+    @property
+    def num_paths(self) -> int:
+        """The number of paths ``m = 2s + ℓ`` in ``G[V_S]``."""
+        return 2 * self.num_selector_pairs + self.ell
+
+    @property
+    def path_length(self) -> int:
+        """Number of nodes on each path (``2^h``)."""
+        return 2**self.height
+
+    @property
+    def input_length(self) -> int:
+        """Length of Alice's and Bob's bit strings (``num_blocks * ℓ``)."""
+        return self.num_blocks * self.ell
+
+    def expected_num_nodes(self, with_radius_hub: bool = False) -> int:
+        """The node count ``(2^{h+1}-1) + m(2^h+2) + 2·num_blocks (+1)``."""
+        tree = 2 ** (self.height + 1) - 1
+        paths_with_endpoints = self.num_paths * (self.path_length + 2)
+        blocks = 2 * self.num_blocks
+        return tree + paths_with_endpoints + blocks + (1 if with_radius_hub else 0)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_height(
+        cls,
+        height: int,
+        alpha: Optional[int] = None,
+        beta: Optional[int] = None,
+    ) -> "GadgetParameters":
+        """The paper's own choices (Eq. (2)): ``s = 3h/2``, ``ℓ = 2^{s-h}``.
+
+        ``h`` must be even.  ``α`` and ``β`` default to ``n²`` and ``2n²``
+        where ``n`` is the resulting node count, as in the proofs of
+        Theorems 4.2 and 4.8.
+        """
+        if height % 2 != 0 or height < 2:
+            raise ValueError("Eq. (2) requires an even height h >= 2")
+        s = 3 * height // 2
+        ell = 2 ** (s - height)
+        num_blocks = 2**s
+        provisional = cls(
+            height=height, num_blocks=num_blocks, ell=ell, alpha=1, beta=2
+        )
+        n = provisional.expected_num_nodes()
+        alpha_value = alpha if alpha is not None else n**2
+        beta_value = beta if beta is not None else 2 * n**2
+        return cls(
+            height=height,
+            num_blocks=num_blocks,
+            ell=ell,
+            alpha=alpha_value,
+            beta=beta_value,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1: the base gadget G[V_S]
+# --------------------------------------------------------------------------- #
+@dataclass
+class BaseGadget:
+    """The Figure-1 subgraph ``G[V_S]``: binary tree plus ``m`` paths.
+
+    Attributes
+    ----------
+    graph:
+        The (unit-weight) graph on ``V_S``.
+    height / num_paths:
+        The parameters ``h`` and ``m``.
+    tree_nodes:
+        ``tree_nodes[(i, j)]`` is the node ``t_{i,j}`` (depth ``i``,
+        position ``j``; both zero-based here).
+    path_nodes:
+        ``path_nodes[(i, j)]`` is the node ``p_{i,j}`` (path ``i``, position
+        ``j``; both zero-based).
+    """
+
+    graph: WeightedGraph
+    height: int
+    num_paths: int
+    tree_nodes: Dict[Tuple[int, int], int]
+    path_nodes: Dict[Tuple[int, int], int]
+
+    @property
+    def root(self) -> int:
+        """The tree root ``t_{0,1}``."""
+        return self.tree_nodes[(0, 0)]
+
+    @property
+    def leaves(self) -> List[int]:
+        """The ``2^h`` leaves of the binary tree, left to right."""
+        return [self.tree_nodes[(self.height, j)] for j in range(2**self.height)]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in ``V_S``."""
+        return self.graph.num_nodes
+
+
+def build_base_gadget(
+    height: int,
+    num_paths: int,
+    tree_path_weight: int = 1,
+    next_node_id: int = 0,
+) -> BaseGadget:
+    """Build the Figure-1 subgraph ``G[V_S]``.
+
+    Parameters
+    ----------
+    height:
+        Tree height ``h``.
+    num_paths:
+        Number of disjoint paths ``m``.
+    tree_path_weight:
+        Weight of the leaf-to-path edges (``1`` in Figure 1; ``α`` when the
+        base gadget is embedded in the Figure-2/4 constructions).
+    next_node_id:
+        First node identifier to use (so the gadget can be embedded into a
+        larger graph without clashes).
+    """
+    if height < 1:
+        raise ValueError("height must be at least 1")
+    if num_paths < 1:
+        raise ValueError("num_paths must be at least 1")
+    graph = WeightedGraph()
+    node_id = next_node_id
+    tree_nodes: Dict[Tuple[int, int], int] = {}
+    path_nodes: Dict[Tuple[int, int], int] = {}
+
+    # Binary tree: depth i has 2^i nodes.
+    for depth in range(height + 1):
+        for position in range(2**depth):
+            tree_nodes[(depth, position)] = node_id
+            graph.add_node(node_id)
+            node_id += 1
+    for depth in range(1, height + 1):
+        for position in range(2**depth):
+            parent = tree_nodes[(depth - 1, position // 2)]
+            graph.add_edge(parent, tree_nodes[(depth, position)], 1)
+
+    # Paths: m paths of 2^h nodes each.
+    path_length = 2**height
+    for path in range(num_paths):
+        for position in range(path_length):
+            path_nodes[(path, position)] = node_id
+            graph.add_node(node_id)
+            node_id += 1
+        for position in range(1, path_length):
+            graph.add_edge(
+                path_nodes[(path, position - 1)], path_nodes[(path, position)], 1
+            )
+
+    # Leaf j is connected to position j of every path.
+    for path in range(num_paths):
+        for position in range(path_length):
+            leaf = tree_nodes[(height, position)]
+            graph.add_edge(leaf, path_nodes[(path, position)], tree_path_weight)
+
+    return BaseGadget(
+        graph=graph,
+        height=height,
+        num_paths=num_paths,
+        tree_nodes=tree_nodes,
+        path_nodes=path_nodes,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figures 2 and 4: the diameter and radius gadgets
+# --------------------------------------------------------------------------- #
+@dataclass
+class DiameterGadget:
+    """The Figure-2 construction for the inputs ``(x, y)``.
+
+    Attributes
+    ----------
+    graph:
+        The full weighted graph ``(G, w)``.
+    parameters:
+        The size parameters used.
+    x / y:
+        Alice's and Bob's inputs (length ``num_blocks * ℓ``).
+    base:
+        The embedded ``G[V_S]`` gadget.
+    block_a / block_b:
+        ``block_a[i]`` is the node ``a_{i+1}`` (similarly ``b``).
+    selector_a / selector_b:
+        ``selector_a[(j, bit)]`` is the node ``a_j^{bit}``.
+    star_a / star_b:
+        ``star_a[j]`` is the node ``a*_{j+1}``.
+    node_sets:
+        The partition ``{"VS": ..., "VA": ..., "VB": ...}``.
+    """
+
+    graph: WeightedGraph
+    parameters: GadgetParameters
+    x: Tuple[int, ...]
+    y: Tuple[int, ...]
+    base: BaseGadget
+    block_a: List[int] = field(default_factory=list)
+    block_b: List[int] = field(default_factory=list)
+    selector_a: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    selector_b: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    star_a: List[int] = field(default_factory=list)
+    star_b: List[int] = field(default_factory=list)
+    node_sets: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes of the gadget graph."""
+        return self.graph.num_nodes
+
+    def function_value(self) -> int:
+        """``F(x, y)`` -- the Boolean value the diameter encodes (Lemma 4.4)."""
+        return diameter_hardness_function(
+            self.x, self.y, self.parameters.num_blocks, self.parameters.ell
+        )
+
+    def gap_thresholds(self) -> Tuple[float, float]:
+        """The Lemma 4.4 thresholds ``(max{2α, β} + n, min{α+β, 3α})``.
+
+        If ``F = 1`` the diameter is at most the first value; if ``F = 0`` it
+        is at least the second.
+        """
+        alpha, beta = self.parameters.alpha, self.parameters.beta
+        return (
+            max(2 * alpha, beta) + self.num_nodes,
+            min(alpha + beta, 3 * alpha),
+        )
+
+
+def _selector_bit(block_index: int, selector_index: int) -> int:
+    """``bin(i, j)``: the ``j``-th bit of the binary expansion of ``i`` (zero-based)."""
+    return (block_index >> selector_index) & 1
+
+
+def _validate_inputs(
+    x: Sequence[int], y: Sequence[int], parameters: GadgetParameters
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    expected = parameters.input_length
+    x = tuple(int(bool(bit)) for bit in x)
+    y = tuple(int(bool(bit)) for bit in y)
+    if len(x) != expected or len(y) != expected:
+        raise ValueError(f"inputs must have length {expected}")
+    return x, y
+
+
+def build_diameter_gadget(
+    x: Sequence[int], y: Sequence[int], parameters: GadgetParameters
+) -> DiameterGadget:
+    """Build the Figure-2 weighted graph for inputs ``(x, y)``."""
+    x, y = _validate_inputs(x, y, parameters)
+    alpha, beta = parameters.alpha, parameters.beta
+    s = parameters.num_selector_pairs
+    ell = parameters.ell
+    num_blocks = parameters.num_blocks
+    path_end = parameters.path_length - 1
+
+    base = build_base_gadget(
+        parameters.height, parameters.num_paths, tree_path_weight=alpha
+    )
+    graph = base.graph
+    node_id = graph.num_nodes
+
+    def new_node() -> int:
+        nonlocal node_id
+        graph.add_node(node_id)
+        node_id += 1
+        return node_id - 1
+
+    # ---- V_A ----------------------------------------------------------- #
+    block_a = [new_node() for _ in range(num_blocks)]
+    selector_a = {
+        (j, bit): new_node() for j in range(s) for bit in (0, 1)
+    }
+    star_a = [new_node() for _ in range(ell)]
+
+    # ---- V_B ----------------------------------------------------------- #
+    block_b = [new_node() for _ in range(num_blocks)]
+    selector_b = {
+        (j, bit): new_node() for j in range(s) for bit in (0, 1)
+    }
+    star_b = [new_node() for _ in range(ell)]
+
+    # ---- E' : path endpoints to V_A / V_B (weight 1) -------------------- #
+    for j in range(s):
+        graph.add_edge(selector_a[(j, 0)], base.path_nodes[(2 * j, 0)], 1)
+        graph.add_edge(selector_b[(j, 1)], base.path_nodes[(2 * j, path_end)], 1)
+        graph.add_edge(selector_a[(j, 1)], base.path_nodes[(2 * j + 1, 0)], 1)
+        graph.add_edge(selector_b[(j, 0)], base.path_nodes[(2 * j + 1, path_end)], 1)
+    for j in range(ell):
+        graph.add_edge(star_a[j], base.path_nodes[(2 * s + j, 0)], 1)
+        graph.add_edge(star_b[j], base.path_nodes[(2 * s + j, path_end)], 1)
+
+    # ---- E_A ------------------------------------------------------------ #
+    for i in range(num_blocks):
+        for j in range(s):
+            graph.add_edge(block_a[i], selector_a[(j, _selector_bit(i, j))], alpha)
+        for j in range(ell):
+            weight = alpha if x[pair_index(i, j, ell)] == 1 else beta
+            graph.add_edge(block_a[i], star_a[j], weight)
+    for i in range(num_blocks):
+        for i2 in range(i + 1, num_blocks):
+            graph.add_edge(block_a[i], block_a[i2], alpha)
+
+    # ---- E_B ------------------------------------------------------------ #
+    for i in range(num_blocks):
+        for j in range(s):
+            graph.add_edge(block_b[i], selector_b[(j, _selector_bit(i, j))], alpha)
+        for j in range(ell):
+            weight = alpha if y[pair_index(i, j, ell)] == 1 else beta
+            graph.add_edge(block_b[i], star_b[j], weight)
+    for i in range(num_blocks):
+        for i2 in range(i + 1, num_blocks):
+            graph.add_edge(block_b[i], block_b[i2], alpha)
+
+    vs_nodes = list(base.tree_nodes.values()) + list(base.path_nodes.values())
+    va_nodes = (
+        block_a + list(selector_a.values()) + star_a
+    )
+    vb_nodes = (
+        block_b + list(selector_b.values()) + star_b
+    )
+
+    return DiameterGadget(
+        graph=graph,
+        parameters=parameters,
+        x=x,
+        y=y,
+        base=base,
+        block_a=block_a,
+        block_b=block_b,
+        selector_a=selector_a,
+        selector_b=selector_b,
+        star_a=star_a,
+        star_b=star_b,
+        node_sets={"VS": vs_nodes, "VA": va_nodes, "VB": vb_nodes},
+    )
+
+
+@dataclass
+class RadiusGadget(DiameterGadget):
+    """The Figure-4 construction: the diameter gadget plus the hub ``a_0``.
+
+    The hub is connected to every block node ``a_i`` with weight ``2α``; its
+    presence forces every node *outside* ``{a_1, ..., a_{2^s}}`` to have
+    eccentricity at least ``3α``, so the radius is controlled by the block
+    nodes alone (Lemma 4.9).
+    """
+
+    hub: int = -1
+
+    def function_value(self) -> int:
+        """``F'(x, y)`` -- the Boolean value the radius encodes (Lemma 4.9)."""
+        return radius_hardness_function(
+            self.x, self.y, self.parameters.num_blocks, self.parameters.ell
+        )
+
+
+def build_radius_gadget(
+    x: Sequence[int], y: Sequence[int], parameters: GadgetParameters
+) -> RadiusGadget:
+    """Build the Figure-4 weighted graph for inputs ``(x, y)``."""
+    diameter_gadget = build_diameter_gadget(x, y, parameters)
+    graph = diameter_gadget.graph
+    hub = graph.num_nodes
+    graph.add_node(hub)
+    for block in diameter_gadget.block_a:
+        graph.add_edge(hub, block, 2 * parameters.alpha)
+    node_sets = dict(diameter_gadget.node_sets)
+    node_sets["VA"] = node_sets["VA"] + [hub]
+    return RadiusGadget(
+        graph=graph,
+        parameters=parameters,
+        x=diameter_gadget.x,
+        y=diameter_gadget.y,
+        base=diameter_gadget.base,
+        block_a=diameter_gadget.block_a,
+        block_b=diameter_gadget.block_b,
+        selector_a=diameter_gadget.selector_a,
+        selector_b=diameter_gadget.selector_b,
+        star_a=diameter_gadget.star_a,
+        star_b=diameter_gadget.star_b,
+        node_sets=node_sets,
+        hub=hub,
+    )

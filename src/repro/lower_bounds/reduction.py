@@ -1,0 +1,262 @@
+"""Theorems 4.2 and 4.8: assembling the ``Ω̃(n^{2/3})`` lower bound.
+
+A lower bound cannot be "measured", but each ingredient of its proof is a
+checkable statement, and the final bound is a deterministic function of those
+ingredients.  This module provides:
+
+* :func:`verify_diameter_gap` / :func:`verify_radius_gap` -- exhaustive or
+  sampled verification of Lemmas 4.4 and 4.9: for inputs with
+  ``F(x, y) = 1`` the (contracted) diameter/radius stays below
+  ``max{2α, β}``, and for ``F(x, y) = 0`` it is at least
+  ``min{α + β, 3α}``; with ``α = n²`` and ``β = 2α`` this is a
+  ``3/2 - o(1)`` multiplicative gap.
+* :func:`diameter_round_lower_bound` / :func:`radius_round_lower_bound` --
+  the Theorem 4.2 / 4.8 arithmetic: any algorithm with fewer than
+  ``Q^{sv}_{1/12}(F) / (c · h · B)`` rounds would, via Lemma 4.1, yield a
+  Server-model protocol cheaper than the Lemma 4.7 / 4.10 bound, a
+  contradiction; the resulting round bound is ``Ω(n^{2/3} / log² n)``.
+* :class:`LowerBoundCertificate` -- the bound together with every ingredient
+  that produced it, so EXPERIMENTS.md can show the full chain.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graphs.contraction import contract_unit_weight_edges
+from repro.graphs.properties import diameter as exact_diameter
+from repro.graphs.properties import radius as exact_radius
+from repro.lower_bounds.gadgets import (
+    GadgetParameters,
+    build_diameter_gadget,
+    build_radius_gadget,
+)
+from repro.lower_bounds.server_model import server_model_complexity_lower_bound
+
+__all__ = [
+    "GapVerificationRecord",
+    "verify_diameter_gap",
+    "verify_radius_gap",
+    "LowerBoundCertificate",
+    "diameter_round_lower_bound",
+    "radius_round_lower_bound",
+    "enumerate_inputs",
+    "sample_inputs",
+]
+
+
+@dataclass
+class GapVerificationRecord:
+    """One (x, y) instance of the Lemma 4.4 / 4.9 verification.
+
+    Attributes
+    ----------
+    x / y:
+        The inputs.
+    function_value:
+        ``F(x, y)`` (diameter) or ``F'(x, y)`` (radius).
+    measured:
+        The diameter/radius of the contracted gadget graph ``G'``.
+    yes_threshold:
+        ``max{2α, β}`` -- the value the measured quantity must not exceed
+        when the function value is 1.
+    no_threshold:
+        ``min{α + β, 3α}`` -- the value the measured quantity must reach
+        when the function value is 0.
+    holds:
+        Whether the appropriate inequality holds for this instance.
+    """
+
+    x: Tuple[int, ...]
+    y: Tuple[int, ...]
+    function_value: int
+    measured: float
+    yes_threshold: float
+    no_threshold: float
+    holds: bool
+
+
+def enumerate_inputs(length: int) -> List[Tuple[int, ...]]:
+    """All bit strings of the given length (use only for tiny gadgets)."""
+    return [tuple(bits) for bits in itertools.product((0, 1), repeat=length)]
+
+
+def sample_inputs(length: int, count: int, seed: int = 0) -> List[Tuple[int, ...]]:
+    """``count`` uniformly random bit strings of the given length."""
+    rng = random.Random(seed)
+    return [
+        tuple(rng.randint(0, 1) for _ in range(length)) for _ in range(count)
+    ]
+
+
+def _verify_gap(
+    parameters: GadgetParameters,
+    input_pairs: Sequence[Tuple[Tuple[int, ...], Tuple[int, ...]]],
+    radius_variant: bool,
+) -> List[GapVerificationRecord]:
+    records: List[GapVerificationRecord] = []
+    yes_threshold = max(2 * parameters.alpha, parameters.beta)
+    no_threshold = min(parameters.alpha + parameters.beta, 3 * parameters.alpha)
+    for x, y in input_pairs:
+        if radius_variant:
+            gadget = build_radius_gadget(x, y, parameters)
+        else:
+            gadget = build_diameter_gadget(x, y, parameters)
+        contracted = contract_unit_weight_edges(gadget.graph).graph
+        if radius_variant:
+            measured = exact_radius(contracted)
+        else:
+            measured = exact_diameter(contracted)
+        value = gadget.function_value()
+        if value == 1:
+            holds = measured <= yes_threshold
+        else:
+            holds = measured >= no_threshold
+        records.append(
+            GapVerificationRecord(
+                x=tuple(x),
+                y=tuple(y),
+                function_value=value,
+                measured=measured,
+                yes_threshold=yes_threshold,
+                no_threshold=no_threshold,
+                holds=holds,
+            )
+        )
+    return records
+
+
+def verify_diameter_gap(
+    parameters: GadgetParameters,
+    input_pairs: Optional[
+        Sequence[Tuple[Tuple[int, ...], Tuple[int, ...]]]
+    ] = None,
+    exhaustive: bool = False,
+    num_samples: int = 20,
+    seed: int = 0,
+) -> List[GapVerificationRecord]:
+    """Verify Lemma 4.4 on the given (or generated) input pairs.
+
+    With ``exhaustive=True`` every pair of inputs is checked (only feasible
+    for tiny gadgets); otherwise ``num_samples`` random pairs are used,
+    always including the all-ones pair (``F = 1``) and the all-zeros pair
+    (``F = 0``).
+    """
+    if input_pairs is None:
+        length = parameters.input_length
+        if exhaustive:
+            all_inputs = enumerate_inputs(length)
+            input_pairs = [(x, y) for x in all_inputs for y in all_inputs]
+        else:
+            xs = sample_inputs(length, num_samples, seed=seed)
+            ys = sample_inputs(length, num_samples, seed=seed + 1)
+            input_pairs = list(zip(xs, ys))
+            input_pairs.append(((1,) * length, (1,) * length))
+            input_pairs.append(((0,) * length, (0,) * length))
+    return _verify_gap(parameters, input_pairs, radius_variant=False)
+
+
+def verify_radius_gap(
+    parameters: GadgetParameters,
+    input_pairs: Optional[
+        Sequence[Tuple[Tuple[int, ...], Tuple[int, ...]]]
+    ] = None,
+    exhaustive: bool = False,
+    num_samples: int = 20,
+    seed: int = 0,
+) -> List[GapVerificationRecord]:
+    """Verify Lemma 4.9 on the given (or generated) input pairs."""
+    if input_pairs is None:
+        length = parameters.input_length
+        if exhaustive:
+            all_inputs = enumerate_inputs(length)
+            input_pairs = [(x, y) for x in all_inputs for y in all_inputs]
+        else:
+            xs = sample_inputs(length, num_samples, seed=seed)
+            ys = sample_inputs(length, num_samples, seed=seed + 1)
+            input_pairs = list(zip(xs, ys))
+            input_pairs.append(((1,) * length, (1,) * length))
+            input_pairs.append(((0,) * length, (0,) * length))
+    return _verify_gap(parameters, input_pairs, radius_variant=True)
+
+
+@dataclass
+class LowerBoundCertificate:
+    """The Theorem 4.2 / 4.8 bound with every ingredient on display.
+
+    Attributes
+    ----------
+    problem:
+        ``"diameter"`` or ``"radius"``.
+    height:
+        The gadget height ``h`` (Eq. (2) then fixes ``s`` and ``ℓ``).
+    num_nodes:
+        The gadget's node count ``n = Θ(2^{3h/2})``.
+    unweighted_diameter_bound:
+        The ``Θ(log n)`` unweighted diameter of the gadget (``O(h)``).
+    input_length:
+        ``2^s · ℓ``, the number of coordinate pairs of ``F`` / ``F'``.
+    communication_lower_bound:
+        ``Ω(sqrt(2^s · ℓ))``, the Server-model bound of Lemma 4.7 / 4.10.
+    simulation_cost_per_round:
+        ``h · B``, the counted bits per CONGEST round in the Lemma 4.1
+        simulation.
+    round_lower_bound:
+        ``communication_lower_bound / simulation_cost_per_round`` -- the
+        resulting round bound, ``Ω(n^{2/3} / log² n)``.
+    theoretical_formula:
+        ``n^{2/3} / log² n`` for direct comparison.
+    """
+
+    problem: str
+    height: int
+    num_nodes: int
+    unweighted_diameter_bound: float
+    input_length: int
+    communication_lower_bound: float
+    simulation_cost_per_round: float
+    round_lower_bound: float
+    theoretical_formula: float
+
+
+def _round_lower_bound(problem: str, height: int, bandwidth_bits: Optional[int]) -> LowerBoundCertificate:
+    parameters = GadgetParameters.from_height(height)
+    num_nodes = parameters.expected_num_nodes(with_radius_hub=(problem == "radius"))
+    if bandwidth_bits is None:
+        bandwidth_bits = max(8, math.ceil(math.log2(num_nodes)))
+    communication = server_model_complexity_lower_bound(
+        parameters.num_blocks, parameters.ell
+    )
+    per_round = height * bandwidth_bits
+    rounds = communication / per_round
+    log_n = math.log2(num_nodes)
+    theoretical = num_nodes ** (2 / 3) / (log_n**2)
+    return LowerBoundCertificate(
+        problem=problem,
+        height=height,
+        num_nodes=num_nodes,
+        unweighted_diameter_bound=2.0 * height + 4,
+        input_length=parameters.input_length,
+        communication_lower_bound=communication,
+        simulation_cost_per_round=per_round,
+        round_lower_bound=rounds,
+        theoretical_formula=theoretical,
+    )
+
+
+def diameter_round_lower_bound(
+    height: int, bandwidth_bits: Optional[int] = None
+) -> LowerBoundCertificate:
+    """Theorem 4.2: the round lower bound for ``(3/2 - ε)``-approximate diameter."""
+    return _round_lower_bound("diameter", height, bandwidth_bits)
+
+
+def radius_round_lower_bound(
+    height: int, bandwidth_bits: Optional[int] = None
+) -> LowerBoundCertificate:
+    """Theorem 4.8: the round lower bound for ``(3/2 - ε)``-approximate radius."""
+    return _round_lower_bound("radius", height, bandwidth_bits)

@@ -1,0 +1,244 @@
+"""The Server model and the Lemma 4.1 simulation of CONGEST algorithms.
+
+The *Server model* (Elkin-Klauck-Nanongkai-Pandurangan) is two-party
+communication with a referee: Alice holds ``x``, Bob holds ``y``, a server
+holds nothing; messages *from* the server are free and only the bits Alice
+and Bob send are counted.  Lemma 4.1 shows that any ``T``-round CONGEST
+algorithm (``T < 2^h / 2``) on the gadget graph of Figure 1 can be simulated
+in the Server model with only ``O(T · h · B)`` counted bits: the server
+initially simulates all of ``V_S`` and hands nodes over to Alice/Bob as the
+light cone of their inputs spreads inward along the paths; the only counted
+messages are the ``O(h)`` per round that cross from an Alice/Bob-owned tree
+node to a server-owned one.
+
+:func:`simulate_congest_on_gadget` executes an actual CONGEST protocol on the
+gadget with the simulator and *measures* the counted communication by
+replaying the ownership schedule of Lemma 4.1 -- so the benchmarks can check
+the ``O(T · h · B)`` overhead empirically rather than taking it on faith.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.message import Message
+from repro.congest.network import CongestConfig, Network
+from repro.congest.simulator import RoundReport, SimulationResult, Simulator
+from repro.lower_bounds.gadgets import DiameterGadget
+
+__all__ = [
+    "Owner",
+    "OwnershipSchedule",
+    "ServerModelTranscript",
+    "simulate_congest_on_gadget",
+    "server_model_complexity_lower_bound",
+]
+
+
+class Owner:
+    """The three parties of the Server model."""
+
+    ALICE = "alice"
+    BOB = "bob"
+    SERVER = "server"
+
+
+@dataclass
+class OwnershipSchedule:
+    """The Lemma 4.1 ownership schedule on a gadget graph.
+
+    Node ownership at the end of round ``r``:
+
+    * ``V_A`` always belongs to Alice, ``V_B`` to Bob;
+    * path node ``p_{i,j}`` (positions zero-based, path length ``2^h``)
+      belongs to the server while ``r ≤ j ≤ 2^h - 1 - r``, to Alice for
+      ``j < r`` and to Bob for ``j > 2^h - 1 - r``;
+    * tree node ``t_{i,j}`` of depth ``i`` belongs to the server while its
+      subtree still covers a server-owned column, i.e. for
+      ``ceil((1+r)/2^{h-i}) ≤ j+1 ≤ ceil((2^h - r)/2^{h-i})`` (one-based
+      ``j+1``), to Alice left of that window and to Bob right of it.
+    """
+
+    gadget: DiameterGadget
+
+    def owner(self, node: int, round_number: int) -> str:
+        """The party simulating ``node`` at the end of ``round_number``."""
+        gadget = self.gadget
+        if node in self._va_set:
+            return Owner.ALICE
+        if node in self._vb_set:
+            return Owner.BOB
+        r = max(0, round_number)
+        path_length = gadget.parameters.path_length
+        position = self._path_position.get(node)
+        if position is not None:
+            # Within the Lemma 4.1 regime (r < 2^h / 2) the two light cones
+            # never meet; beyond it we clamp each side to its own half so the
+            # hand-over stays monotone and well-defined.
+            alice_cut = min(r, (path_length + 1) // 2)
+            bob_cut = path_length - 1 - min(r, path_length // 2)
+            if position < alice_cut:
+                return Owner.ALICE
+            if position > bob_cut:
+                return Owner.BOB
+            return Owner.SERVER
+        depth, index = self._tree_position[node]
+        height = gadget.parameters.height
+        stride = 2 ** (height - depth)
+        low = math.ceil((1 + r) / stride)
+        high = math.ceil((path_length - r) / stride)
+        one_based = index + 1
+        if one_based < low:
+            return Owner.ALICE
+        if one_based > high:
+            return Owner.BOB
+        return Owner.SERVER
+
+    def __post_init__(self) -> None:
+        gadget = self.gadget
+        self._va_set = set(gadget.node_sets["VA"])
+        self._vb_set = set(gadget.node_sets["VB"])
+        self._path_position: Dict[int, int] = {
+            node: position
+            for (path, position), node in gadget.base.path_nodes.items()
+        }
+        self._tree_position: Dict[int, Tuple[int, int]] = {
+            node: (depth, index)
+            for (depth, index), node in gadget.base.tree_nodes.items()
+        }
+
+
+@dataclass
+class ServerModelTranscript:
+    """Measured communication of one Lemma 4.1 simulation.
+
+    Attributes
+    ----------
+    rounds:
+        Number of CONGEST rounds the simulated algorithm ran.
+    alice_bits / bob_bits:
+        Bits Alice / Bob sent to the server (the *counted* communication).
+    alice_messages / bob_messages:
+        Message counts behind those bits.
+    free_bits:
+        Bits sent by the server (not counted in the Server model) -- reported
+        for context only.
+    bandwidth_bits:
+        The CONGEST bandwidth ``B`` used by the run.
+    tree_height:
+        The gadget's ``h``; Lemma 4.1 predicts ``counted ≤ O(rounds · h · B)``.
+    simulation_valid:
+        ``False`` when the algorithm ran ``T ≥ 2^h / 2`` rounds, outside the
+        regime where Lemma 4.1 applies.
+    result:
+        The underlying CONGEST simulation result.
+    """
+
+    rounds: int
+    alice_bits: int
+    bob_bits: int
+    alice_messages: int
+    bob_messages: int
+    free_bits: int
+    bandwidth_bits: int
+    tree_height: int
+    simulation_valid: bool
+    result: Optional[SimulationResult] = None
+
+    @property
+    def counted_bits(self) -> int:
+        """Total counted communication (Alice plus Bob)."""
+        return self.alice_bits + self.bob_bits
+
+    @property
+    def lemma41_budget(self) -> int:
+        """The ``O(T · h · B)`` budget the counted bits are compared against.
+
+        The constant is 4: each round at most ``2h`` tree nodes change hands
+        in each direction and each counted message carries at most ``B`` bits
+        plus tag overhead.
+        """
+        return 4 * max(1, self.rounds) * max(1, self.tree_height) * self.bandwidth_bits
+
+
+def simulate_congest_on_gadget(
+    gadget: DiameterGadget,
+    algorithm: NodeAlgorithm,
+    config: Optional[CongestConfig] = None,
+    halt_on_quiescence: bool = False,
+    max_rounds: Optional[int] = None,
+) -> ServerModelTranscript:
+    """Run a CONGEST protocol on the gadget and measure its Server-model cost.
+
+    The protocol runs unmodified on the CONGEST simulator; an observer replays
+    the Lemma 4.1 ownership schedule and counts, for every delivered message,
+    whether it crossed from an Alice/Bob-owned node into a server-owned node
+    (counted) or was sent by the server (free).
+    """
+    network = Network(gadget.graph, config or CongestConfig())
+    schedule = OwnershipSchedule(gadget)
+    word_bits = network.word_bits
+
+    counters = {
+        "alice_bits": 0,
+        "bob_bits": 0,
+        "alice_messages": 0,
+        "bob_messages": 0,
+        "free_bits": 0,
+    }
+
+    def observer(round_number: int, delivered: List[Message]) -> None:
+        for message in delivered:
+            sender_owner = schedule.owner(message.sender, round_number - 1)
+            receiver_owner = schedule.owner(message.receiver, round_number)
+            bits = message.size_bits(word_bits=word_bits)
+            if sender_owner == Owner.SERVER:
+                counters["free_bits"] += bits
+                continue
+            if receiver_owner != Owner.SERVER:
+                # Alice->Alice or Bob->Bob traffic is simulated locally by the
+                # owning party; Alice->Bob edges do not exist in the gadget.
+                continue
+            if sender_owner == Owner.ALICE:
+                counters["alice_bits"] += bits
+                counters["alice_messages"] += 1
+            else:
+                counters["bob_bits"] += bits
+                counters["bob_messages"] += 1
+
+    simulator = Simulator(network, max_rounds=max_rounds)
+    result = simulator.run(
+        algorithm, halt_on_quiescence=halt_on_quiescence, observer=observer
+    )
+    rounds = result.report.rounds
+    valid = rounds < (2**gadget.parameters.height) / 2
+    return ServerModelTranscript(
+        rounds=rounds,
+        alice_bits=counters["alice_bits"],
+        bob_bits=counters["bob_bits"],
+        alice_messages=counters["alice_messages"],
+        bob_messages=counters["bob_messages"],
+        free_bits=counters["free_bits"],
+        bandwidth_bits=network.bandwidth_bits,
+        tree_height=gadget.parameters.height,
+        simulation_valid=valid,
+        result=result,
+    )
+
+
+def server_model_complexity_lower_bound(
+    num_blocks: int, ell: int, constant: float = 0.25
+) -> float:
+    """The Lemma 4.7 / 4.10 bound ``Q^{sv}_{1/12}(F) = Ω(sqrt(2^s · ℓ))``.
+
+    Both ``F`` and ``F'`` factor as a read-once formula on ``2^s·ℓ/4``
+    variables composed with ``GDT``; Lemma 4.5 plus Lemma 4.6 then give the
+    square-root bound.  ``constant`` is the conservative constant the
+    benchmarks use when comparing against measured approximate degrees.
+    """
+    if num_blocks < 1 or ell < 1:
+        raise ValueError("num_blocks and ell must be positive")
+    return constant * math.sqrt(num_blocks * ell)

@@ -1,0 +1,68 @@
+"""Quantum substrate: a small state-vector simulator and quantum search.
+
+The paper's algorithmic contribution rests on one quantum primitive:
+*distributed quantum optimization* (Lemma 3.1), which is amplitude
+amplification / quantum maximum finding run by the leader node over a
+distributed evaluation oracle.  This subpackage provides the sequential
+quantum machinery behind that primitive:
+
+* :mod:`repro.quantum.statevector` -- a dense state-vector register with the
+  standard gate set, measurement and sampling.
+* :mod:`repro.quantum.gates` -- gate matrices (numpy).
+* :mod:`repro.quantum.grover` -- Grover search / amplitude amplification over
+  an arbitrary marking oracle, with oracle-query counting.
+* :mod:`repro.quantum.minmax` -- the Dürr-Høyer quantum minimum / maximum
+  finding algorithm built on Grover search, again with query counting.
+
+The distributed layer (:mod:`repro.quantum_congest`) consumes only the query
+counts and success probabilities exposed here, exactly as Lemma 3.1 consumes
+only ``T0``, ``T`` and the good-amplitude mass ``ρ``.
+"""
+
+from repro.quantum.statevector import StateVector, measure_all, sample_counts
+from repro.quantum.gates import (
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    HADAMARD,
+    phase_gate,
+    rotation_y,
+    controlled,
+)
+from repro.quantum.grover import (
+    GroverResult,
+    grover_search,
+    grover_iterations,
+    amplitude_amplification_success_probability,
+    exhaustive_oracle,
+)
+from repro.quantum.minmax import (
+    QuantumExtremumResult,
+    quantum_maximum,
+    quantum_minimum,
+    expected_minmax_queries,
+)
+
+__all__ = [
+    "StateVector",
+    "measure_all",
+    "sample_counts",
+    "IDENTITY",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "HADAMARD",
+    "phase_gate",
+    "rotation_y",
+    "controlled",
+    "GroverResult",
+    "grover_search",
+    "grover_iterations",
+    "amplitude_amplification_success_probability",
+    "exhaustive_oracle",
+    "QuantumExtremumResult",
+    "quantum_maximum",
+    "quantum_minimum",
+    "expected_minmax_queries",
+]

@@ -1,0 +1,90 @@
+"""Standard single- and multi-qubit gate matrices.
+
+All gates are plain ``numpy`` arrays of dtype ``complex128``.  The library
+only needs a handful of gates (Hadamard for uniform superpositions, X/Z for
+oracles and diffusion, controlled versions for multi-qubit constructions),
+but the usual textbook set is provided for completeness and for the tests
+that check unitarity and algebraic identities.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "IDENTITY",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "HADAMARD",
+    "S_GATE",
+    "T_GATE",
+    "phase_gate",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+    "controlled",
+    "is_unitary",
+]
+
+IDENTITY = np.eye(2, dtype=complex)
+
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=complex)
+
+T_GATE = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+
+
+def phase_gate(theta: float) -> np.ndarray:
+    """Return ``diag(1, e^{i theta})``."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def rotation_x(theta: float) -> np.ndarray:
+    """Rotation by ``theta`` about the X axis of the Bloch sphere."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def rotation_y(theta: float) -> np.ndarray:
+    """Rotation by ``theta`` about the Y axis of the Bloch sphere."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rotation_z(theta: float) -> np.ndarray:
+    """Rotation by ``theta`` about the Z axis of the Bloch sphere."""
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+def controlled(gate: np.ndarray) -> np.ndarray:
+    """Return the controlled version of a single-qubit ``gate`` (4x4 matrix).
+
+    The control qubit is the more significant one (little-endian convention of
+    :class:`~repro.quantum.statevector.StateVector`).
+    """
+    if gate.shape != (2, 2):
+        raise ValueError(f"controlled() expects a 2x2 gate, got shape {gate.shape}")
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = gate
+    return out
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return ``True`` if ``matrix`` is unitary within tolerance."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    product = matrix.conj().T @ matrix
+    return bool(np.allclose(product, np.eye(matrix.shape[0]), atol=atol))

@@ -1,0 +1,228 @@
+"""A dense state-vector quantum register.
+
+This is a deliberately small simulator: a register of ``k`` qubits is a
+``2^k`` complex vector; single- and two-qubit gates are applied by reshaping,
+and measurement samples from the squared amplitudes.  It is sufficient to run
+the Grover / Dürr-Høyer primitives on the search-domain sizes the benchmarks
+exercise (up to a few thousand basis states) and to verify their success
+probabilities exactly.
+
+Conventions
+-----------
+* Little-endian: qubit 0 is the least significant bit of the basis-state
+  index.
+* Basis states are integers ``0 .. 2^k - 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["StateVector", "measure_all", "sample_counts"]
+
+
+class StateVector:
+    """A register of ``num_qubits`` qubits held as a dense complex vector.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits (the vector has ``2**num_qubits`` entries).
+    rng:
+        Optional :class:`numpy.random.Generator` used for measurements;
+        defaults to a fresh deterministic generator (seed 0).
+    """
+
+    def __init__(
+        self, num_qubits: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("a register needs at least one qubit")
+        if num_qubits > 24:
+            raise ValueError(
+                f"{num_qubits} qubits exceeds the dense-simulation limit of 24"
+            )
+        self._num_qubits = num_qubits
+        self._amplitudes = np.zeros(2**num_qubits, dtype=complex)
+        self._amplitudes[0] = 1.0
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return self._num_qubits
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the state space (``2**num_qubits``)."""
+        return 2**self._num_qubits
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """A copy of the amplitude vector."""
+        return self._amplitudes.copy()
+
+    def probability(self, basis_state: int) -> float:
+        """Probability of observing ``basis_state`` on a full measurement."""
+        return float(abs(self._amplitudes[basis_state]) ** 2)
+
+    def probabilities(self) -> np.ndarray:
+        """Probabilities of every basis state."""
+        return np.abs(self._amplitudes) ** 2
+
+    def norm(self) -> float:
+        """The 2-norm of the state (1 for any valid state)."""
+        return float(np.linalg.norm(self._amplitudes))
+
+    # ------------------------------------------------------------------ #
+    # State preparation
+    # ------------------------------------------------------------------ #
+    def reset(self, basis_state: int = 0) -> "StateVector":
+        """Reset the register to a computational basis state."""
+        if not 0 <= basis_state < self.dimension:
+            raise ValueError(f"basis state {basis_state} out of range")
+        self._amplitudes[:] = 0
+        self._amplitudes[basis_state] = 1.0
+        return self
+
+    def set_amplitudes(self, amplitudes: Sequence[complex]) -> "StateVector":
+        """Load an explicit amplitude vector (it is normalised automatically)."""
+        vector = np.asarray(amplitudes, dtype=complex)
+        if vector.shape != (self.dimension,):
+            raise ValueError(
+                f"expected {self.dimension} amplitudes, got {vector.shape}"
+            )
+        norm = np.linalg.norm(vector)
+        if norm < 1e-12:
+            raise ValueError("cannot normalise the zero vector")
+        self._amplitudes = vector / norm
+        return self
+
+    def prepare_uniform(self, domain_size: Optional[int] = None) -> "StateVector":
+        """Prepare the uniform superposition over the first ``domain_size`` states.
+
+        With ``domain_size=None`` the superposition covers the full register
+        (the usual ``H^{\\otimes k}|0>``).  A restricted domain models the
+        paper's Setup procedure, which superposes over an arbitrary finite set
+        ``X`` whose size need not be a power of two.
+        """
+        size = self.dimension if domain_size is None else domain_size
+        if not 1 <= size <= self.dimension:
+            raise ValueError(f"domain_size {size} out of range")
+        self._amplitudes[:] = 0
+        self._amplitudes[:size] = 1 / math.sqrt(size)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Gates
+    # ------------------------------------------------------------------ #
+    def apply_single_qubit_gate(self, gate: np.ndarray, qubit: int) -> "StateVector":
+        """Apply a 2x2 unitary to one qubit."""
+        if gate.shape != (2, 2):
+            raise ValueError("single-qubit gate must be 2x2")
+        if not 0 <= qubit < self._num_qubits:
+            raise ValueError(f"qubit index {qubit} out of range")
+        k = self._num_qubits
+        # Reshape so the target qubit becomes its own axis.
+        tensor = self._amplitudes.reshape([2] * k)
+        axis = k - 1 - qubit  # little-endian: qubit 0 is the last axis
+        tensor = np.moveaxis(tensor, axis, 0)
+        shape = tensor.shape
+        tensor = gate @ tensor.reshape(2, -1)
+        tensor = np.moveaxis(tensor.reshape(shape), 0, axis)
+        self._amplitudes = tensor.reshape(-1)
+        return self
+
+    def apply_hadamard_all(self) -> "StateVector":
+        """Apply a Hadamard to every qubit."""
+        from repro.quantum.gates import HADAMARD
+
+        for qubit in range(self._num_qubits):
+            self.apply_single_qubit_gate(HADAMARD, qubit)
+        return self
+
+    def apply_phase_oracle(self, predicate: Callable[[int], bool]) -> "StateVector":
+        """Flip the sign of every basis state ``x`` with ``predicate(x)`` true.
+
+        This is the standard phase oracle ``O_f |x> = (-1)^{f(x)} |x>`` used by
+        Grover search.
+        """
+        marked = np.fromiter(
+            (1.0 if predicate(state) else 0.0 for state in range(self.dimension)),
+            dtype=float,
+            count=self.dimension,
+        )
+        self._amplitudes = self._amplitudes * (1 - 2 * marked)
+        return self
+
+    def apply_diffusion(self, domain_size: Optional[int] = None) -> "StateVector":
+        """Apply the Grover diffusion operator ``2|s><s| - I``.
+
+        ``|s>`` is the uniform superposition over the first ``domain_size``
+        basis states (the whole register by default).  Amplitudes outside the
+        domain are negated, matching the reflection about ``|s>`` restricted
+        to the domain's span plus its orthogonal complement.
+        """
+        size = self.dimension if domain_size is None else domain_size
+        if not 1 <= size <= self.dimension:
+            raise ValueError(f"domain_size {size} out of range")
+        mean = self._amplitudes[:size].mean()
+        self._amplitudes[:size] = 2 * mean - self._amplitudes[:size]
+        self._amplitudes[size:] = -self._amplitudes[size:]
+        return self
+
+    def apply_unitary(self, unitary: np.ndarray) -> "StateVector":
+        """Apply an arbitrary full-register unitary (for small registers/tests)."""
+        unitary = np.asarray(unitary, dtype=complex)
+        if unitary.shape != (self.dimension, self.dimension):
+            raise ValueError(
+                f"unitary must be {self.dimension}x{self.dimension}, got {unitary.shape}"
+            )
+        self._amplitudes = unitary @ self._amplitudes
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+    def measure(self) -> int:
+        """Measure all qubits; collapses the state and returns the outcome."""
+        probabilities = self.probabilities()
+        probabilities = probabilities / probabilities.sum()
+        outcome = int(self._rng.choice(self.dimension, p=probabilities))
+        self.reset(outcome)
+        return outcome
+
+    def sample(self, shots: int) -> List[int]:
+        """Sample ``shots`` outcomes without collapsing the state."""
+        probabilities = self.probabilities()
+        probabilities = probabilities / probabilities.sum()
+        return [
+            int(value)
+            for value in self._rng.choice(self.dimension, size=shots, p=probabilities)
+        ]
+
+    def copy(self) -> "StateVector":
+        """Return an independent copy sharing the same RNG seed stream."""
+        clone = StateVector(self._num_qubits, rng=self._rng)
+        clone._amplitudes = self._amplitudes.copy()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StateVector(num_qubits={self._num_qubits})"
+
+
+def measure_all(state: StateVector) -> int:
+    """Functional wrapper around :meth:`StateVector.measure`."""
+    return state.measure()
+
+
+def sample_counts(state: StateVector, shots: int) -> Dict[int, int]:
+    """Sample ``shots`` measurements and return a histogram of outcomes."""
+    counts: Dict[int, int] = {}
+    for outcome in state.sample(shots):
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return counts

@@ -1,0 +1,127 @@
+"""Tests for the Table 1 complexity formulas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    Table1Row,
+    classical_weighted_bound,
+    table1_rows,
+    theorem11_upper_bound,
+    theorem12_lower_bound,
+)
+from repro.analysis.complexity import (
+    chechik_mukhtar_bound,
+    classical_three_halves_bound,
+    legall_magniez_bound,
+    legall_magniez_three_halves_bound,
+    magniez_nayak_lower_bound,
+)
+
+
+class TestTheorem11Formula:
+    def test_small_diameter_branch(self):
+        n, d = 10**5, 10
+        assert theorem11_upper_bound(n, d) == pytest.approx(n**0.9 * d**0.3)
+
+    def test_large_diameter_capped_at_n(self):
+        n = 10**5
+        assert theorem11_upper_bound(n, n) == n
+
+    def test_crossover_at_n_one_third(self):
+        n = 10**6
+        crossover = n ** (1 / 3)
+        below = theorem11_upper_bound(n, crossover / 4)
+        above = theorem11_upper_bound(n, crossover * 4)
+        assert below < n
+        assert above == n
+
+    def test_sublinear_in_the_low_diameter_regime(self):
+        n = 10**6
+        d = math.log2(n)
+        assert theorem11_upper_bound(n, d) < n
+
+    def test_beats_classical_for_small_d(self):
+        n, d = 10**6, 8
+        assert theorem11_upper_bound(n, d) < classical_weighted_bound(n, d)
+
+    def test_worse_than_unweighted_quantum(self):
+        """The separation the paper proves: weighted is harder than unweighted."""
+        n, d = 10**6, int(math.log2(10**6))
+        assert theorem11_upper_bound(n, d) > legall_magniez_bound(n, d)
+        assert theorem12_lower_bound(n, d) > legall_magniez_bound(n, d)
+
+
+class TestTheorem12Formula:
+    def test_two_thirds_exponent(self):
+        assert theorem12_lower_bound(10**6, 5) == pytest.approx((10**6) ** (2 / 3))
+
+    def test_independent_of_d(self):
+        assert theorem12_lower_bound(1000, 2) == theorem12_lower_bound(1000, 999)
+
+    def test_below_upper_bound(self):
+        """The paper's own upper and lower bounds must be consistent."""
+        for n in (10**3, 10**5, 10**7):
+            for d in (4, 16, int(math.log2(n)) ** 2):
+                assert theorem12_lower_bound(n, d) <= theorem11_upper_bound(n, d) * (
+                    1 + 1e-9
+                )
+
+
+class TestOtherFormulas:
+    def test_magniez_nayak_dominates_sqrt_n(self):
+        assert magniez_nayak_lower_bound(10**4, 1) >= math.sqrt(10**4)
+
+    def test_three_halves_classical_cheaper_than_exact(self):
+        n, d = 10**6, 100
+        assert classical_three_halves_bound(n, d) < classical_weighted_bound(n, d)
+
+    def test_chechik_mukhtar_between_sqrt_and_linear(self):
+        n, d = 10**6, 16
+        value = chechik_mukhtar_bound(n, d)
+        assert math.sqrt(n) < value < n
+
+    def test_quantum_three_halves_cheapest_unweighted(self):
+        n, d = 10**6, 16
+        assert legall_magniez_three_halves_bound(n, d) < legall_magniez_bound(n, d)
+
+
+class TestTable1Rows:
+    def test_row_count_and_structure(self):
+        rows = table1_rows()
+        assert len(rows) > 30
+        assert all(isinstance(row, Table1Row) for row in rows)
+
+    def test_both_problems_present(self):
+        problems = {row.problem for row in table1_rows()}
+        assert problems == {"diameter", "radius"}
+
+    def test_this_work_rows_present(self):
+        ours = [row for row in table1_rows() if row.source == "This work"]
+        assert len(ours) >= 4
+        assert any(row.kind == "upper" for row in ours)
+        assert any(row.kind == "lower" for row in ours)
+
+    def test_evaluate(self):
+        rows = table1_rows()
+        for row in rows:
+            value = row.evaluate(1000, 10)
+            if row.formula is not None:
+                assert value > 0
+
+    def test_upper_bounds_dominate_lower_bounds_per_cell(self):
+        """For each (problem, weighted, approx, setting), upper >= lower."""
+        rows = table1_rows()
+        n, d = 10**6, 20
+        cells = {}
+        for row in rows:
+            key = (row.problem, row.weighted, row.approximation, row.setting)
+            cells.setdefault(key, {})[row.kind] = row.evaluate(n, d)
+        for key, bounds in cells.items():
+            if "upper" in bounds and "lower" in bounds:
+                if bounds["upper"] is None or bounds["lower"] is None:
+                    continue
+                assert bounds["upper"] >= bounds["lower"] * 0.99, key

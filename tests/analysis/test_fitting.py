@@ -1,0 +1,69 @@
+"""Tests for the power-law fitting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_power_law, fit_two_parameter_power_law
+
+
+class TestSinglePredictor:
+    def test_exact_power_law_recovered(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [3 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.constant == pytest.approx(3, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_power_law(self):
+        rng = np.random.default_rng(0)
+        xs = np.linspace(10, 500, 30)
+        ys = 2 * xs**0.67 * np.exp(rng.normal(0, 0.05, size=30))
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(0.67, abs=0.08)
+        assert fit.r_squared > 0.95
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4, 8], [5, 10, 20, 40])
+        assert fit.predict(16) == pytest.approx(80, rel=1e-6)
+
+    def test_constant_data(self):
+        fit = fit_power_law([1, 2, 4], [7, 7, 7])
+        assert fit.exponent == pytest.approx(0.0, abs=1e-9)
+        assert fit.r_squared == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [3])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, -2])
+
+
+class TestTwoPredictors:
+    def test_exact_two_parameter_law(self):
+        ns = [100, 100, 400, 400, 1600, 1600, 100, 1600]
+        ds = [4, 16, 4, 16, 4, 16, 64, 64]
+        ys = [0.7 * n**0.9 * d**0.3 for n, d in zip(ns, ds)]
+        fit = fit_two_parameter_power_law(ns, ds, ys)
+        assert fit.exponents[0] == pytest.approx(0.9, abs=1e-9)
+        assert fit.exponents[1] == pytest.approx(0.3, abs=1e-9)
+        assert fit.constant == pytest.approx(0.7, rel=1e-9)
+
+    def test_predict_two_parameters(self):
+        ns = [10, 20, 40, 10, 40]
+        ds = [2, 2, 2, 8, 8]
+        ys = [n * d for n, d in zip(ns, ds)]
+        fit = fit_two_parameter_power_law(ns, ds, ys)
+        assert fit.predict(30, 4) == pytest.approx(120, rel=1e-6)
+        with pytest.raises(ValueError):
+            fit.predict(30)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_two_parameter_power_law([1, 2], [1], [1, 2])

@@ -1,0 +1,60 @@
+"""Tests for the table renderers."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import format_float, render_table
+from repro.analysis.tables import render_markdown_table
+
+
+class TestFormatFloat:
+    def test_none(self):
+        assert format_float(None) == "-"
+
+    def test_infinity(self):
+        assert format_float(math.inf) == "inf"
+
+    def test_integral_float(self):
+        assert format_float(4.0) == "4"
+
+    def test_fractional(self):
+        assert format_float(3.14159, digits=3) == "3.142"
+
+    def test_int_passthrough(self):
+        assert format_float(12) == "12"
+
+    def test_string_passthrough(self):
+        assert format_float("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["name", "value"], [["alpha", 1], ["beta", 2.5]])
+        assert "name" in text and "value" in text
+        assert "alpha" in text and "2.50" in text
+
+    def test_title_rendered(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+        assert "=" * len("My Table") in text
+
+    def test_columns_aligned(self):
+        text = render_table(["col", "x"], [["longvalue", 1], ["s", 22]])
+        lines = text.splitlines()
+        # All data lines have the same width of the first column.
+        assert lines[-1].startswith("s".ljust(len("longvalue")))
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderMarkdownTable:
+    def test_structure(self):
+        text = render_markdown_table(["h1", "h2"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| h1 | h2 |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4

@@ -1,0 +1,52 @@
+"""Tests for the benchmark workload definitions."""
+
+from __future__ import annotations
+
+from repro.analysis import crossover_workloads, diameter_sweep_workloads
+from repro.analysis.workloads import WorkloadInstance
+from repro.graphs import path_graph, unweighted_diameter
+
+
+class TestWorkloadInstance:
+    def test_from_graph_measures_diameter(self):
+        instance = WorkloadInstance.from_graph("path", path_graph(9, max_weight=5, seed=1))
+        assert instance.num_nodes == 9
+        assert instance.unweighted_diameter == 8
+        assert instance.network.num_nodes == 9
+        assert instance.name == "path"
+
+
+class TestDiameterSweep:
+    def test_instances_connected_and_named(self):
+        instances = diameter_sweep_workloads(num_nodes=36, seed=1)
+        assert len(instances) >= 5
+        for instance in instances:
+            assert instance.graph.is_connected()
+            assert instance.name
+
+    def test_diameter_spread(self):
+        instances = diameter_sweep_workloads(num_nodes=36, seed=1)
+        diameters = [instance.unweighted_diameter for instance in instances]
+        assert max(diameters) >= 4 * min(diameters)
+
+    def test_expander_has_smallest_diameter(self):
+        instances = diameter_sweep_workloads(num_nodes=48, seed=0)
+        expander = next(i for i in instances if i.name == "expander")
+        assert expander.unweighted_diameter == min(
+            i.unweighted_diameter for i in instances
+        )
+
+
+class TestCrossoverGrid:
+    def test_grid_covers_requested_sizes(self):
+        instances = crossover_workloads(node_counts=(24, 36), seed=2)
+        assert len(instances) == 6
+        sizes = {instance.num_nodes for instance in instances}
+        # Path-of-cliques sizes are rounded; stay within 25% of the target.
+        assert any(abs(size - 24) <= 6 for size in sizes)
+        assert any(abs(size - 36) <= 9 for size in sizes)
+
+    def test_each_size_has_diameter_spread(self):
+        instances = crossover_workloads(node_counts=(32,), seed=0)
+        diameters = sorted(i.unweighted_diameter for i in instances)
+        assert diameters[-1] > diameters[0]

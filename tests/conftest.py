@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import Network
+from repro.graphs import (
+    WeightedGraph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle_graph() -> WeightedGraph:
+    """A weighted triangle: 0-1 (3), 1-2 (4), 0-2 (10)."""
+    graph = WeightedGraph()
+    graph.add_edge(0, 1, 3)
+    graph.add_edge(1, 2, 4)
+    graph.add_edge(0, 2, 10)
+    return graph
+
+
+@pytest.fixture
+def small_path() -> WeightedGraph:
+    """A weighted 5-node path with weights 2, 3, 1, 5."""
+    graph = WeightedGraph()
+    weights = [2, 3, 1, 5]
+    for i, w in enumerate(weights):
+        graph.add_edge(i, i + 1, w)
+    return graph
+
+
+@pytest.fixture
+def small_grid() -> WeightedGraph:
+    """A 3x3 unit-weight grid."""
+    return grid_graph(3, 3)
+
+
+@pytest.fixture
+def weighted_random_graph() -> WeightedGraph:
+    """A 24-node connected random graph with weights in [1, 20]."""
+    return random_weighted_graph(num_nodes=24, average_degree=3.5, max_weight=20, seed=7)
+
+
+@pytest.fixture
+def random_network(weighted_random_graph) -> Network:
+    """The random graph wrapped as a CONGEST network."""
+    return Network(weighted_random_graph)
+
+
+@pytest.fixture
+def path_network() -> Network:
+    """A weighted 8-node path network."""
+    return Network(path_graph(8, max_weight=9, seed=3))
+
+
+@pytest.fixture
+def cycle_network() -> Network:
+    """A weighted 9-node cycle network."""
+    return Network(cycle_graph(9, max_weight=5, seed=4))
+
+
+@pytest.fixture
+def star_network() -> Network:
+    """A star network with 6 leaves."""
+    return Network(star_graph(6, max_weight=7, seed=5))

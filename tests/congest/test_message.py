@@ -1,0 +1,75 @@
+"""Tests for message encoding and bandwidth accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import Message, encode_value, message_size_bits
+from repro.congest.message import id_bits
+
+
+class TestEncodeValue:
+    def test_none(self):
+        assert encode_value(None) == 1
+
+    def test_bool(self):
+        assert encode_value(True) == 1
+        assert encode_value(False) == 1
+
+    def test_small_int(self):
+        assert encode_value(0) == 1
+        assert encode_value(1) == 2
+
+    def test_int_grows_with_magnitude(self):
+        assert encode_value(2**20) > encode_value(2**5)
+
+    def test_negative_int(self):
+        assert encode_value(-7) == encode_value(7)
+
+    def test_float_costs_one_word(self):
+        assert encode_value(3.25, word_bits=32) == 32
+        assert encode_value(float("inf"), word_bits=16) == 16
+
+    def test_string(self):
+        assert encode_value("ab") == 16
+
+    def test_tuple_sums_parts(self):
+        assert encode_value((1, 2)) == encode_value(1) + encode_value(2) + 2
+
+    def test_nested_structures(self):
+        nested = (1, (2, 3))
+        assert encode_value(nested) > encode_value((1, 2))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            encode_value({"a": 1})
+
+
+class TestMessage:
+    def test_size_includes_tag(self):
+        with_tag = Message(0, 1, 42, tag="x")
+        without_tag = Message(0, 1, 42)
+        assert with_tag.size_bits() == without_tag.size_bits() + 8
+
+    def test_message_is_frozen(self):
+        message = Message(0, 1, 5)
+        with pytest.raises(Exception):
+            message.payload = 6  # type: ignore[misc]
+
+    def test_message_size_matches_helper(self):
+        message = Message(3, 4, (1, 2), tag="t")
+        assert message.size_bits(word_bits=16) == message_size_bits(
+            (1, 2), tag="t", word_bits=16
+        )
+
+
+class TestIdBits:
+    def test_grows_logarithmically(self):
+        assert id_bits(2) == 1
+        assert id_bits(16) == 4
+        assert id_bits(17) == 5
+        assert id_bits(1024) == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            id_bits(0)

@@ -1,0 +1,185 @@
+"""Tests for the BFS-tree / broadcast / convergecast / gather / election primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    Network,
+    broadcast_from,
+    build_bfs_tree,
+    convergecast_max,
+    convergecast_min,
+    convergecast_sum,
+    elect_leader,
+)
+from repro.congest.primitives import broadcast_values_from, gather_values_to
+from repro.graphs import (
+    WeightedGraph,
+    dijkstra,
+    grid_graph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+class TestBfsTree:
+    def test_depths_are_hop_distances(self, random_network):
+        root = 0
+        tree, _ = build_bfs_tree(random_network, root)
+        hop_distances = dijkstra(random_network.graph.with_unit_weights(), root)
+        assert all(tree.depth[v] == hop_distances[v] for v in random_network.nodes)
+
+    def test_parents_are_neighbors_one_level_up(self, random_network):
+        tree, _ = build_bfs_tree(random_network, 0)
+        for node, parent in tree.parent.items():
+            if parent is None:
+                assert node == 0
+                continue
+            assert random_network.graph.has_edge(node, parent)
+            assert tree.depth[node] == tree.depth[parent] + 1
+
+    def test_children_consistent_with_parents(self, random_network):
+        tree, _ = build_bfs_tree(random_network, 0)
+        for node, children in tree.children.items():
+            for child in children:
+                assert tree.parent[child] == node
+
+    def test_spanning(self, random_network):
+        tree, _ = build_bfs_tree(random_network, 0)
+        assert set(tree.depth) == set(random_network.nodes)
+
+    def test_rounds_scale_with_depth_not_n(self):
+        star = Network(star_graph(30))
+        path = Network(path_graph(31))
+        _, star_report = build_bfs_tree(star, 0)
+        _, path_report = build_bfs_tree(path, 0)
+        assert star_report.rounds < path_report.rounds
+
+    def test_single_node(self):
+        network = Network(WeightedGraph(nodes=[0]))
+        tree, report = build_bfs_tree(network, 0)
+        assert tree.height == 0
+        assert tree.parent[0] is None
+
+    def test_unknown_root_raises(self, random_network):
+        with pytest.raises(KeyError):
+            build_bfs_tree(random_network, 9999)
+
+    def test_nodes_by_depth(self, path_network):
+        tree, _ = build_bfs_tree(path_network, 0)
+        layers = tree.nodes_by_depth()
+        assert layers[0] == [0]
+        assert all(len(layer) == 1 for layer in layers)
+
+
+class TestBroadcast:
+    def test_single_value_reaches_everyone(self, random_network):
+        received, report = broadcast_from(random_network, 0, "payload")
+        assert all(value == "payload" for value in received.values())
+        assert report.rounds > 0
+
+    def test_pipelined_values_all_delivered_in_order_free(self, random_network):
+        values = list(range(7))
+        received, _ = broadcast_values_from(random_network, 0, values)
+        assert all(sorted(v) == values for v in received.values())
+
+    def test_pipelining_cheaper_than_sequential(self, path_network):
+        tree, _ = build_bfs_tree(path_network, 0)
+        values = list(range(10))
+        _, pipelined = broadcast_values_from(path_network, 0, values, tree=tree)
+        sequential_rounds = 0
+        for value in values:
+            _, single = broadcast_from(path_network, 0, value, tree=tree)
+            sequential_rounds += single.rounds
+        assert pipelined.rounds < sequential_rounds
+
+    def test_empty_value_list(self, random_network):
+        received, _ = broadcast_values_from(random_network, 0, [])
+        assert all(v == [] for v in received.values())
+
+
+class TestConvergecast:
+    def test_max(self, random_network):
+        values = {node: node * 3 for node in random_network.nodes}
+        result, _ = convergecast_max(random_network, values)
+        assert result == max(values.values())
+
+    def test_min(self, random_network):
+        values = {node: 100 - node for node in random_network.nodes}
+        result, _ = convergecast_min(random_network, values)
+        assert result == min(values.values())
+
+    def test_sum(self, random_network):
+        values = {node: 2 for node in random_network.nodes}
+        result, _ = convergecast_sum(random_network, values)
+        assert result == 2 * random_network.num_nodes
+
+    def test_reuses_supplied_tree(self, random_network):
+        tree, _ = build_bfs_tree(random_network, 0)
+        values = {node: node for node in random_network.nodes}
+        result, report = convergecast_max(random_network, values, tree=tree)
+        assert result == max(values.values())
+        # Without the tree-construction phase the cost is only O(depth).
+        assert report.rounds <= 4 * (tree.height + 2)
+
+    def test_missing_values_rejected(self, random_network):
+        with pytest.raises(ValueError):
+            convergecast_max(random_network, {0: 1})
+
+    def test_rounds_scale_with_depth(self):
+        star = Network(star_graph(30))
+        path = Network(path_graph(31))
+        star_values = {node: node for node in star.nodes}
+        path_values = {node: node for node in path.nodes}
+        _, star_report = convergecast_max(star, star_values)
+        _, path_report = convergecast_max(path, path_values)
+        assert star_report.rounds < path_report.rounds
+
+
+class TestGather:
+    def test_all_records_collected(self, random_network):
+        records = {node: [f"r{node}"] for node in random_network.nodes}
+        collected, _ = gather_values_to(random_network, 0, records)
+        assert sorted(collected) == sorted(f"r{node}" for node in random_network.nodes)
+
+    def test_multiple_records_per_node(self, path_network):
+        records = {node: [node, node + 100] for node in path_network.nodes}
+        collected, _ = gather_values_to(path_network, 0, records)
+        assert len(collected) == 2 * path_network.num_nodes
+
+    def test_empty_records(self, random_network):
+        records = {node: [] for node in random_network.nodes}
+        collected, _ = gather_values_to(random_network, 0, records)
+        assert collected == []
+
+    def test_rounds_scale_with_total_records(self, path_network):
+        small = {node: [1] for node in path_network.nodes}
+        large = {node: list(range(8)) for node in path_network.nodes}
+        tree, _ = build_bfs_tree(path_network, 0)
+        _, small_report = gather_values_to(path_network, 0, small, tree=tree)
+        _, large_report = gather_values_to(path_network, 0, large, tree=tree)
+        assert large_report.rounds > small_report.rounds
+
+    def test_wrong_tree_root_rejected(self, path_network):
+        tree, _ = build_bfs_tree(path_network, 1)
+        with pytest.raises(ValueError):
+            gather_values_to(path_network, 0, {n: [] for n in path_network.nodes}, tree=tree)
+
+
+class TestLeaderElection:
+    def test_minimum_id_wins(self, random_network):
+        leader, _ = elect_leader(random_network)
+        assert leader == min(random_network.nodes)
+
+    def test_diameter_bound_speeds_up(self, random_network):
+        diameter = int(random_network.unweighted_diameter())
+        _, fast = elect_leader(random_network, diameter_bound=diameter + 1)
+        _, slow = elect_leader(random_network)
+        assert fast.rounds <= slow.rounds
+
+    def test_grid(self):
+        network = Network(grid_graph(4, 4))
+        leader, _ = elect_leader(network, diameter_bound=7)
+        assert leader == 0

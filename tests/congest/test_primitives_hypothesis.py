@@ -1,0 +1,99 @@
+"""Property-based tests for the CONGEST primitives on random topologies."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import (
+    Network,
+    broadcast_from,
+    build_bfs_tree,
+    convergecast_max,
+    convergecast_sum,
+    distributed_bellman_ford,
+)
+from repro.congest.primitives import gather_values_to
+from repro.graphs import WeightedGraph, dijkstra
+
+
+@st.composite
+def random_networks(draw, max_nodes: int = 10, max_weight: int = 9):
+    """A connected random network: spanning tree plus a few chords."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = WeightedGraph(nodes=range(num_nodes))
+    for node in range(1, num_nodes):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        graph.add_edge(parent, node, draw(st.integers(min_value=1, max_value=max_weight)))
+    extra = draw(st.integers(min_value=0, max_value=num_nodes // 2))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        v = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, draw(st.integers(min_value=1, max_value=max_weight)))
+    return Network(graph)
+
+
+@given(random_networks())
+@settings(max_examples=30, deadline=None)
+def test_bfs_tree_depths_are_hop_distances(network):
+    root = network.nodes[0]
+    tree, _ = build_bfs_tree(network, root)
+    hops = dijkstra(network.graph.with_unit_weights(), root)
+    assert all(tree.depth[node] == hops[node] for node in network.nodes)
+
+
+@given(random_networks())
+@settings(max_examples=30, deadline=None)
+def test_bfs_tree_is_spanning_tree(network):
+    tree, _ = build_bfs_tree(network, network.nodes[0])
+    non_root = [node for node in network.nodes if tree.parent[node] is not None]
+    assert len(non_root) == network.num_nodes - 1
+    # Every child link corresponds to a real edge.
+    for node in non_root:
+        assert network.graph.has_edge(node, tree.parent[node])
+
+
+@given(random_networks(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_broadcast_reaches_every_node_unchanged(network, payload):
+    received, report = broadcast_from(network, network.nodes[0], payload)
+    assert all(value == payload for value in received.values())
+    assert report.rounds >= 1 or network.num_nodes == 1
+
+
+@given(random_networks(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_convergecast_aggregates_exactly(network, data):
+    values = {
+        node: data.draw(st.integers(min_value=-100, max_value=100))
+        for node in network.nodes
+    }
+    maximum, _ = convergecast_max(network, values)
+    total, _ = convergecast_sum(network, values)
+    assert maximum == max(values.values())
+    assert total == sum(values.values())
+
+
+@given(random_networks(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_gather_collects_every_record(network, data):
+    records = {
+        node: [
+            (node, index)
+            for index in range(data.draw(st.integers(min_value=0, max_value=3)))
+        ]
+        for node in network.nodes
+    }
+    collected, _ = gather_values_to(network, network.nodes[0], records)
+    expected = [record for per_node in records.values() for record in per_node]
+    assert sorted(map(tuple, collected)) == sorted(expected)
+
+
+@given(random_networks())
+@settings(max_examples=25, deadline=None)
+def test_distributed_sssp_matches_dijkstra(network):
+    source = network.nodes[-1]
+    distances, _ = distributed_bellman_ford(network, source)
+    exact = dijkstra(network.graph, source)
+    assert all(abs(distances[v] - exact[v]) < 1e-9 for v in network.nodes)

@@ -1,0 +1,226 @@
+"""Tests for the synchronous CONGEST simulator and its round accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    CongestConfig,
+    Message,
+    Network,
+    NodeAlgorithm,
+    RoundReport,
+    Simulator,
+)
+from repro.congest.simulator import RoundLimitExceeded
+from repro.graphs import WeightedGraph, path_graph
+
+
+class _PingPong(NodeAlgorithm):
+    """Node 0 sends a token to node 1 and back, then both halt."""
+
+    name = "ping-pong"
+
+    def initialize(self, ctx):
+        if ctx.node == 0:
+            ctx.send(1, ("ping",))
+
+    def receive(self, ctx, round_number, messages):
+        for message in messages:
+            if message.payload[0] == "ping":
+                ctx.send(message.sender, ("pong",))
+                ctx.halt()
+            elif message.payload[0] == "pong":
+                ctx.halt()
+
+    def output(self, ctx):
+        return ctx.halted
+
+
+class _CountRounds(NodeAlgorithm):
+    """Every node counts rounds until a fixed budget, sending nothing."""
+
+    name = "count-rounds"
+
+    def __init__(self, budget):
+        self._budget = budget
+
+    def receive(self, ctx, round_number, messages):
+        if round_number >= self._budget:
+            ctx.halt()
+
+    def output(self, ctx):
+        return "done"
+
+
+class _BigMessage(NodeAlgorithm):
+    """Node 0 sends one deliberately oversized message to node 1."""
+
+    name = "big-message"
+
+    def __init__(self, payload):
+        self._payload = payload
+
+    def initialize(self, ctx):
+        if ctx.node == 0:
+            ctx.send(1, self._payload)
+        ctx.halt() if ctx.node != 0 else None
+
+    def receive(self, ctx, round_number, messages):
+        ctx.halt()
+
+
+class _NeverHalts(NodeAlgorithm):
+    name = "never-halts"
+
+    def receive(self, ctx, round_number, messages):
+        ctx.broadcast(("noise", round_number))
+
+
+def _two_node_network(config=None):
+    graph = WeightedGraph(edges=[(0, 1, 1)])
+    return Network(graph, config)
+
+
+class TestBasicExecution:
+    def test_ping_pong_rounds(self):
+        network = _two_node_network()
+        result = Simulator(network).run(_PingPong())
+        assert result.report.rounds == 2
+        assert all(result.outputs.values())
+
+    def test_round_budget(self):
+        network = _two_node_network()
+        result = Simulator(network).run(_CountRounds(5))
+        assert result.report.rounds == 5
+        assert result.unique_output() == "done"
+
+    def test_unique_output_disagreement_raises(self):
+        class Disagree(NodeAlgorithm):
+            def receive(self, ctx, round_number, messages):
+                ctx.halt()
+
+            def output(self, ctx):
+                return ctx.node
+
+        network = _two_node_network()
+        result = Simulator(network).run(Disagree())
+        with pytest.raises(ValueError):
+            result.unique_output()
+
+    def test_initial_memory_injected(self):
+        class ReadMemory(NodeAlgorithm):
+            def receive(self, ctx, round_number, messages):
+                ctx.halt()
+
+            def output(self, ctx):
+                return ctx.memory.get("x")
+
+        network = _two_node_network()
+        result = Simulator(network).run(
+            ReadMemory(), initial_memory={0: {"x": 42}, 1: {"x": 43}}
+        )
+        assert result.outputs == {0: 42, 1: 43}
+
+    def test_round_limit_exceeded(self):
+        network = _two_node_network()
+        simulator = Simulator(network, max_rounds=10)
+        with pytest.raises(RoundLimitExceeded):
+            simulator.run(_NeverHalts())
+
+    def test_halt_on_quiescence(self):
+        class SendOnce(NodeAlgorithm):
+            def initialize(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(1, ("hello",))
+
+            def receive(self, ctx, round_number, messages):
+                pass  # never halts explicitly
+
+        network = _two_node_network()
+        result = Simulator(network).run(SendOnce(), halt_on_quiescence=True)
+        assert result.report.rounds >= 1
+        assert result.report.rounds <= 3
+
+    def test_send_to_non_neighbor_rejected(self):
+        class BadSender(NodeAlgorithm):
+            def initialize(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(5, "oops")
+
+            def receive(self, ctx, round_number, messages):
+                ctx.halt()
+
+        network = Network(path_graph(6))
+        with pytest.raises(ValueError):
+            Simulator(network).run(BadSender())
+
+    def test_observer_sees_every_delivered_message(self):
+        network = _two_node_network()
+        seen = []
+
+        def observer(round_number, delivered):
+            seen.extend((round_number, m.payload[0]) for m in delivered)
+
+        Simulator(network).run(_PingPong(), observer=observer)
+        assert (1, "ping") in seen
+        assert (2, "pong") in seen
+
+
+class TestAccounting:
+    def test_message_and_bit_totals(self):
+        network = _two_node_network()
+        result = Simulator(network).run(_PingPong())
+        assert result.report.total_messages == 2
+        assert result.report.total_bits > 0
+        assert result.report.max_message_bits > 0
+
+    def test_congested_rounds_at_least_plain_rounds(self):
+        network = _two_node_network()
+        report = Simulator(network).run(_PingPong()).report
+        assert report.congested_rounds >= report.rounds
+
+    def test_oversized_message_charged_extra(self):
+        config = CongestConfig(bandwidth_words=1, word_bits_override=8)
+        network = _two_node_network(config)
+        payload = tuple(range(20))  # far more than 8 bits
+        report = Simulator(network).run(_BigMessage(payload)).report
+        assert report.congested_rounds > report.rounds
+
+    def test_strict_bandwidth_raises(self):
+        config = CongestConfig(
+            bandwidth_words=1, word_bits_override=8, strict_bandwidth=True
+        )
+        network = _two_node_network(config)
+        payload = tuple(range(20))
+        with pytest.raises(ValueError):
+            Simulator(network).run(_BigMessage(payload))
+
+    def test_within_bandwidth_not_overcharged(self):
+        config = CongestConfig(bandwidth_words=4, word_bits_override=32)
+        network = _two_node_network(config)
+        report = Simulator(network).run(_PingPong()).report
+        assert report.congested_rounds == report.rounds
+
+
+class TestRoundReport:
+    def test_merge_sequential(self):
+        a = RoundReport(rounds=3, congested_rounds=4, total_messages=5, total_bits=50, max_message_bits=10, protocol="a")
+        b = RoundReport(rounds=2, congested_rounds=2, total_messages=1, total_bits=8, max_message_bits=8, protocol="b")
+        merged = a.merge_sequential(b)
+        assert merged.rounds == 5
+        assert merged.congested_rounds == 6
+        assert merged.total_messages == 6
+        assert merged.total_bits == 58
+        assert merged.max_message_bits == 10
+        assert "a" in merged.protocol and "b" in merged.protocol
+
+    def test_sequential_of_list(self):
+        reports = [RoundReport(rounds=i, congested_rounds=i) for i in (1, 2, 3)]
+        combined = RoundReport.sequential(reports)
+        assert combined.rounds == 6
+        assert combined.congested_rounds == 6
+
+    def test_sequential_empty(self):
+        combined = RoundReport.sequential([])
+        assert combined.rounds == 0

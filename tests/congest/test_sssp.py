@@ -1,0 +1,95 @@
+"""Tests for the distributed SSSP protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    Network,
+    distributed_bellman_ford,
+    distributed_bfs,
+    distributed_weighted_sssp,
+)
+from repro.congest.sssp import multi_source_bellman_ford
+from repro.graphs import (
+    bounded_hop_distances,
+    dijkstra,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+class TestDistributedBfs:
+    def test_hop_distances_correct(self, random_network):
+        distances, _ = distributed_bfs(random_network, 0)
+        expected = dijkstra(random_network.graph.with_unit_weights(), 0)
+        assert all(distances[v] == expected[v] for v in random_network.nodes)
+
+    def test_rounds_proportional_to_depth(self):
+        star = Network(star_graph(20))
+        path = Network(path_graph(21))
+        _, star_report = distributed_bfs(star, 0)
+        _, path_report = distributed_bfs(path, 0)
+        assert star_report.rounds < path_report.rounds
+
+
+class TestDistributedBellmanFord:
+    @pytest.mark.parametrize("source", [0, 3, 11])
+    def test_exact_distances(self, random_network, source):
+        distances, _ = distributed_bellman_ford(random_network, source)
+        expected = dijkstra(random_network.graph, source)
+        assert all(
+            abs(distances[v] - expected[v]) < 1e-9 for v in random_network.nodes
+        )
+
+    def test_alias_matches(self, random_network):
+        a, _ = distributed_weighted_sssp(random_network, 0)
+        b, _ = distributed_bellman_ford(random_network, 0)
+        assert a == b
+
+    def test_hop_bounded_variant(self, random_network):
+        for hops in (1, 2, 3):
+            distances, _ = distributed_bellman_ford(random_network, 0, max_hops=hops)
+            expected = bounded_hop_distances(random_network.graph, 0, hops)
+            assert all(
+                distances[v] == expected[v] for v in random_network.nodes
+            )
+
+    def test_unknown_source_raises(self, random_network):
+        with pytest.raises(KeyError):
+            distributed_bellman_ford(random_network, 777)
+
+    def test_messages_bounded_by_improvements(self, path_network):
+        _, report = distributed_bellman_ford(path_network, 0)
+        n = path_network.num_nodes
+        # On a path every node improves exactly once, broadcasting to at most
+        # two neighbors.
+        assert report.total_messages <= 2 * n
+
+
+class TestMultiSourceBellmanFord:
+    def test_distances_per_source(self, random_network):
+        sources = [0, 5, 9]
+        table, _ = multi_source_bellman_ford(random_network, sources)
+        for source in sources:
+            expected = dijkstra(random_network.graph, source)
+            for node in random_network.nodes:
+                assert abs(table[node][source] - expected[node]) < 1e-9
+
+    def test_all_sources_apsp_symmetry(self):
+        graph = random_weighted_graph(num_nodes=12, max_weight=9, seed=11)
+        network = Network(graph)
+        table, _ = multi_source_bellman_ford(network, network.nodes)
+        for u in network.nodes:
+            for v in network.nodes:
+                assert table[u][v] == table[v][u]
+
+    def test_unknown_sources_raise(self, random_network):
+        with pytest.raises(KeyError):
+            multi_source_bellman_ford(random_network, [0, 999])
+
+    def test_more_sources_cost_more_congested_rounds(self, random_network):
+        _, one = multi_source_bellman_ford(random_network, [0])
+        _, many = multi_source_bellman_ford(random_network, random_network.nodes[:10])
+        assert many.congested_rounds >= one.congested_rounds

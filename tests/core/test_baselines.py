@@ -1,0 +1,62 @@
+"""Tests for the classical baselines used in the Table 1 comparisons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import Network
+from repro.core import (
+    classical_exact_diameter,
+    classical_exact_radius,
+    sssp_two_approximation_diameter,
+    sssp_upper_bound_radius,
+)
+from repro.graphs import diameter, radius, random_weighted_graph, unweighted_diameter
+
+
+@pytest.fixture(scope="module")
+def network():
+    return Network(random_weighted_graph(num_nodes=20, max_weight=18, seed=21))
+
+
+class TestExactBaselines:
+    def test_diameter_value(self, network):
+        result = classical_exact_diameter(network)
+        assert result.value == diameter(network.graph)
+        assert result.lower_bound == result.upper_bound == result.value
+        assert result.rounds > 0
+
+    def test_radius_value(self, network):
+        result = classical_exact_radius(network)
+        assert result.value == radius(network.graph)
+
+    def test_unweighted_variants(self, network):
+        d = classical_exact_diameter(network, weighted=False)
+        assert d.value == unweighted_diameter(network.graph)
+
+    def test_names(self, network):
+        assert "diameter" in classical_exact_diameter(network).name
+        assert "radius" in classical_exact_radius(network).name
+
+
+class TestSsspBaselines:
+    def test_two_approx_interval_contains_diameter(self, network):
+        result = sssp_two_approximation_diameter(network)
+        true_diameter = diameter(network.graph)
+        assert result.lower_bound - 1e-9 <= true_diameter <= result.upper_bound + 1e-9
+        assert result.upper_bound == 2 * result.lower_bound
+
+    def test_two_approx_with_explicit_source(self, network):
+        result = sssp_two_approximation_diameter(network, source=5)
+        assert result.lower_bound <= diameter(network.graph) <= result.upper_bound
+
+    def test_radius_upper_bound(self, network):
+        result = sssp_upper_bound_radius(network)
+        true_radius = radius(network.graph)
+        assert true_radius <= result.value + 1e-9
+        assert result.value <= 2 * true_radius + 1e-9
+
+    def test_cheaper_than_exact(self, network):
+        exact = classical_exact_diameter(network)
+        approx = sssp_two_approximation_diameter(network)
+        assert approx.rounds < exact.rounds

@@ -1,0 +1,133 @@
+"""Tests for the Theorem 1.1 quantum diameter/radius algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import Network
+from repro.core import (
+    AlgorithmParameters,
+    ParameterProfile,
+    quantum_weighted_diameter,
+    quantum_weighted_radius,
+)
+from repro.graphs import (
+    diameter,
+    low_diameter_expander,
+    path_of_cliques,
+    radius,
+    random_weighted_graph,
+)
+from repro.quantum_congest import SearchMode
+
+
+@pytest.fixture(scope="module")
+def expander_network():
+    graph = low_diameter_expander(36, degree=6, max_weight=25, seed=5)
+    return Network(graph)
+
+
+@pytest.fixture(scope="module")
+def clique_path_network():
+    graph = path_of_cliques(6, 5, max_weight=15, seed=2)
+    return Network(graph)
+
+
+class TestDiameterApproximation:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_within_guarantee_on_expander(self, expander_network, seed):
+        result = quantum_weighted_diameter(expander_network, seed=seed)
+        assert result.within_guarantee
+        exact = diameter(expander_network.graph)
+        assert result.exact_value == exact
+        assert exact <= result.value <= (1 + result.parameters.epsilon) ** 2 * exact + 1e-9
+
+    def test_within_guarantee_on_clique_path(self, clique_path_network):
+        result = quantum_weighted_diameter(clique_path_network, seed=1)
+        assert result.within_guarantee
+
+    def test_result_metadata(self, expander_network):
+        result = quantum_weighted_diameter(expander_network, seed=3)
+        assert result.problem == "diameter"
+        assert result.chosen_set_index in range(result.parameters.num_sets)
+        assert result.chosen_source in result.chosen_skeleton
+        assert result.total_rounds > 0
+        assert result.report.congested_rounds == result.total_rounds
+        assert result.approximation_ratio >= 1 - 1e-9
+
+    def test_skip_exact_computation(self, expander_network):
+        result = quantum_weighted_diameter(expander_network, seed=0, compute_exact=False)
+        assert result.exact_value is None
+        assert result.within_guarantee is None
+        assert result.approximation_ratio is None
+
+    def test_explicit_parameters_respected(self, expander_network):
+        params = AlgorithmParameters.for_network(
+            expander_network, profile=ParameterProfile.FAST, num_sets=12
+        )
+        result = quantum_weighted_diameter(expander_network, seed=0, parameters=params)
+        assert result.parameters.num_sets == 12
+        assert result.chosen_set_index < 12
+
+    def test_statevector_inner_mode(self, expander_network):
+        result = quantum_weighted_diameter(
+            expander_network, seed=0, mode=SearchMode.STATEVECTOR
+        )
+        assert result.within_guarantee
+        assert result.inner_outcome.mode is SearchMode.STATEVECTOR
+
+    def test_deterministic_given_seed(self, expander_network):
+        a = quantum_weighted_diameter(expander_network, seed=11)
+        b = quantum_weighted_diameter(expander_network, seed=11)
+        assert a.value == b.value
+        assert a.total_rounds == b.total_rounds
+
+
+class TestRadiusApproximation:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_within_guarantee_on_expander(self, expander_network, seed):
+        result = quantum_weighted_radius(expander_network, seed=seed)
+        assert result.within_guarantee
+        exact = radius(expander_network.graph)
+        assert result.exact_value == exact
+        assert exact <= result.value <= (1 + result.parameters.epsilon) ** 2 * exact + 1e-9
+
+    def test_problem_label(self, expander_network):
+        result = quantum_weighted_radius(expander_network, seed=0)
+        assert result.problem == "radius"
+
+    def test_radius_estimate_not_above_diameter_estimate_guarantees(self, expander_network):
+        r = quantum_weighted_radius(expander_network, seed=4)
+        d = quantum_weighted_diameter(expander_network, seed=4)
+        # Both are (1+eps)^2-approximations, so the radius estimate cannot
+        # exceed the diameter estimate by more than that factor squared.
+        factor = (1 + r.parameters.epsilon) ** 2
+        assert r.value <= factor * d.value + 1e-9
+
+
+class TestRoundCharges:
+    def test_charge_structure(self, expander_network):
+        result = quantum_weighted_diameter(expander_network, seed=0)
+        charge = result.outer_charge
+        expected = (
+            charge.costs.t0_rounds
+            + charge.invocations * charge.costs.t_rounds
+            + charge.extra_classical.congested_rounds
+        )
+        assert charge.total_rounds == expected
+
+    def test_outer_invocations_match_lemma31(self, expander_network):
+        from repro.quantum_congest import grover_invocation_count
+
+        result = quantum_weighted_diameter(expander_network, seed=0)
+        params = result.parameters
+        assert result.outer_charge.invocations == grover_invocation_count(
+            params.outer_rho(), params.delta
+        )
+
+    def test_inner_charge_dominated_by_initialization(self, expander_network):
+        """Lemma 3.5: the inner Evaluation cost includes the toolkit's T0."""
+        result = quantum_weighted_diameter(expander_network, seed=0)
+        inner = result.inner_outcome.charge
+        assert inner.costs.t0_rounds > 0
+        assert result.total_rounds >= inner.total_rounds

@@ -1,0 +1,125 @@
+"""Edge cases and failure-path tests for the Theorem 1.1 algorithm."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.congest import Network
+from repro.core import (
+    AlgorithmParameters,
+    ParameterProfile,
+    quantum_weighted_diameter,
+    quantum_weighted_radius,
+)
+from repro.graphs import (
+    complete_graph,
+    diameter,
+    path_graph,
+    radius,
+    star_graph,
+)
+
+
+class TestTinyNetworks:
+    def test_two_node_network(self):
+        network = Network(path_graph(2, max_weight=7, seed=1))
+        result = quantum_weighted_diameter(network, seed=0)
+        assert result.within_guarantee
+        assert result.exact_value == diameter(network.graph)
+
+    def test_three_node_star(self):
+        network = Network(star_graph(2, max_weight=9, seed=2))
+        diameter_result = quantum_weighted_diameter(network, seed=0)
+        radius_result = quantum_weighted_radius(network, seed=0)
+        assert diameter_result.within_guarantee
+        assert radius_result.within_guarantee
+
+    def test_complete_graph_diameter_is_heaviest_needed_edge(self):
+        network = Network(complete_graph(6, max_weight=30, seed=3))
+        result = quantum_weighted_diameter(network, seed=1)
+        assert result.within_guarantee
+        assert result.exact_value == diameter(network.graph)
+
+
+class TestHighDiameterTopologies:
+    """On a path, D = Θ(n): the min{.., n} branch of Theorem 1.1 applies."""
+
+    def test_weighted_path_diameter(self):
+        network = Network(path_graph(14, max_weight=25, seed=4))
+        result = quantum_weighted_diameter(network, seed=2)
+        assert result.within_guarantee
+        assert result.exact_value == diameter(network.graph)
+
+    def test_weighted_path_radius(self):
+        network = Network(path_graph(14, max_weight=25, seed=4))
+        result = quantum_weighted_radius(network, seed=2)
+        assert result.within_guarantee
+        assert result.exact_value == radius(network.graph)
+
+    def test_unit_weight_path(self):
+        # Weighted and unweighted coincide; the approximation must still hold.
+        network = Network(path_graph(12))
+        result = quantum_weighted_diameter(network, seed=0)
+        assert result.within_guarantee
+        assert result.exact_value == 11
+
+
+class TestGoodScaleFailurePath:
+    def test_tiny_skeleton_probability_triggers_patch(self):
+        """With an absurdly small r most skeleton sets miss the extremal node;
+        the algorithm's re-sample patch (Good-Scale failure handling) must
+        keep the guarantee intact."""
+        network = Network(star_graph(8, max_weight=11, seed=5))
+        parameters = AlgorithmParameters.for_network(
+            network, profile=ParameterProfile.FAST, num_sets=2
+        )
+        parameters = dataclasses.replace(parameters, skeleton_size=0.05)
+        result = quantum_weighted_diameter(network, seed=3, parameters=parameters)
+        assert result.within_guarantee
+
+    def test_single_set_search_space(self):
+        network = Network(path_graph(8, max_weight=6, seed=6))
+        parameters = AlgorithmParameters.for_network(
+            network, profile=ParameterProfile.FAST, num_sets=1
+        )
+        result = quantum_weighted_diameter(network, seed=1, parameters=parameters)
+        assert result.chosen_set_index == 0
+        assert result.within_guarantee
+
+
+class TestDeltaSensitivity:
+    def test_smaller_delta_charges_more_rounds(self):
+        network = Network(star_graph(10, max_weight=8, seed=7))
+        strict = quantum_weighted_diameter(network, seed=4, delta=0.01)
+        loose = quantum_weighted_diameter(network, seed=4, delta=0.4)
+        assert strict.outer_charge.invocations >= loose.outer_charge.invocations
+        assert strict.total_rounds >= loose.total_rounds
+
+    def test_invalid_delta_rejected(self):
+        network = Network(star_graph(5, max_weight=3, seed=8))
+        with pytest.raises(ValueError):
+            quantum_weighted_diameter(network, seed=0, delta=0.0)
+
+
+class TestResultInvariants:
+    def test_report_protocol_label(self):
+        network = Network(star_graph(7, max_weight=5, seed=9))
+        diameter_result = quantum_weighted_diameter(network, seed=0)
+        radius_result = quantum_weighted_radius(network, seed=0)
+        assert diameter_result.report.protocol == "quantum-weighted-diameter"
+        assert radius_result.report.protocol == "quantum-weighted-radius"
+
+    def test_chosen_skeleton_is_subset_of_nodes(self):
+        network = Network(path_graph(10, max_weight=4, seed=10))
+        result = quantum_weighted_diameter(network, seed=5)
+        assert set(result.chosen_skeleton) <= set(network.nodes)
+
+    def test_value_at_least_exact_lower_bound(self):
+        """Both estimates are one-sided: never below the true value."""
+        network = Network(path_graph(9, max_weight=13, seed=11))
+        diameter_result = quantum_weighted_diameter(network, seed=6)
+        radius_result = quantum_weighted_radius(network, seed=6)
+        assert diameter_result.value >= diameter_result.exact_value - 1e-9
+        assert radius_result.value >= radius_result.exact_value - 1e-9

@@ -1,0 +1,58 @@
+"""Tests for the Le Gall-Magniez cost-model formulas (unweighted quantum rows)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import (
+    legall_magniez_three_halves_diameter_rounds,
+    legall_magniez_unweighted_diameter_rounds,
+    legall_magniez_unweighted_radius_rounds,
+)
+from repro.core.legall_magniez import quantum_eccentricity_rounds
+
+
+class TestSqrtNDFormula:
+    def test_scaling_in_n(self):
+        assert legall_magniez_unweighted_diameter_rounds(
+            4000, 10
+        ) > legall_magniez_unweighted_diameter_rounds(1000, 10)
+
+    def test_scaling_in_d(self):
+        small = legall_magniez_unweighted_diameter_rounds(1000, 4)
+        large = legall_magniez_unweighted_diameter_rounds(1000, 64)
+        assert large / small == math.sqrt(16)
+
+    def test_radius_same_as_diameter(self):
+        assert legall_magniez_unweighted_radius_rounds(
+            500, 8
+        ) == legall_magniez_unweighted_diameter_rounds(500, 8)
+
+    def test_sublinear_for_small_diameter(self):
+        n = 10**6
+        assert legall_magniez_unweighted_diameter_rounds(n, 10) < n
+
+    def test_beats_this_papers_weighted_bound_at_small_d(self):
+        """The separation Theorem 1.2 is about: at D = Θ(log n), the unweighted
+        quantum bound sqrt(nD) is polynomially below the weighted lower bound
+        n^{2/3} (compared here without the polylog dressing, which is how the
+        paper states the separation)."""
+        from repro.analysis import theorem12_lower_bound
+        from repro.analysis.complexity import legall_magniez_bound
+
+        n = 10**8
+        d = math.log2(n)
+        assert legall_magniez_bound(n, d) < theorem12_lower_bound(n, d)
+
+
+class TestOtherFormulas:
+    def test_three_halves_cheaper_than_exact(self):
+        n, d = 10**6, 20
+        assert legall_magniez_three_halves_diameter_rounds(
+            n, d
+        ) < legall_magniez_unweighted_diameter_rounds(n, d)
+
+    def test_eccentricity_sqrt_n(self):
+        assert quantum_eccentricity_rounds(10000, 5) > quantum_eccentricity_rounds(100, 5)
+        n = 10**6
+        assert quantum_eccentricity_rounds(n, 5) < n

@@ -1,0 +1,96 @@
+"""Tests for the Eq. (1) parameter choices."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.congest import Network
+from repro.core import AlgorithmParameters, ParameterProfile
+from repro.graphs import path_of_cliques, random_weighted_graph
+
+
+class TestFromInstance:
+    def test_paper_profile_epsilon(self):
+        params = AlgorithmParameters.from_instance(256, 8, profile=ParameterProfile.PAPER)
+        assert params.epsilon == pytest.approx(1 / 8)  # 1 / log2(256)
+
+    def test_fast_profile_epsilon_constant(self):
+        params = AlgorithmParameters.from_instance(256, 8, profile=ParameterProfile.FAST)
+        assert params.epsilon == 0.5
+
+    def test_skeleton_size_formula(self):
+        params = AlgorithmParameters.from_instance(1024, 16)
+        assert params.skeleton_size == pytest.approx(1024 ** 0.4 * 16 ** (-0.2))
+
+    def test_hop_bound_formula(self):
+        n, d = 1024, 16
+        params = AlgorithmParameters.from_instance(n, d)
+        r = n ** 0.4 * d ** (-0.2)
+        expected = math.ceil(n * math.log2(n) / r)
+        assert params.hop_bound == expected
+
+    def test_shortcut_k_is_sqrt_diameter(self):
+        params = AlgorithmParameters.from_instance(100, 25)
+        assert params.shortcut_k == 5
+
+    def test_num_sets_defaults_to_n(self):
+        params = AlgorithmParameters.from_instance(77, 5)
+        assert params.num_sets == 77
+
+    def test_num_sets_override(self):
+        params = AlgorithmParameters.from_instance(77, 5, num_sets=10)
+        assert params.num_sets == 10
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            AlgorithmParameters.from_instance(1, 1)
+
+    def test_diameter_clamped_to_one(self):
+        params = AlgorithmParameters.from_instance(64, 0)
+        assert params.unweighted_diameter == 1.0
+        assert params.shortcut_k == 1
+
+
+class TestDerivedQuantities:
+    def test_outer_rho(self):
+        params = AlgorithmParameters.from_instance(100, 4)
+        assert params.outer_rho() == pytest.approx(params.skeleton_size / 100)
+
+    def test_outer_rho_capped_at_one(self):
+        params = AlgorithmParameters.from_instance(100, 4, num_sets=1)
+        assert params.outer_rho() == 1.0
+
+    def test_inner_rho(self):
+        params = AlgorithmParameters.from_instance(100, 4)
+        assert params.inner_rho(25) == pytest.approx(1 / 25)
+        assert params.inner_rho(0) == 1.0
+
+    def test_theoretical_rounds_min_structure(self):
+        low_d = AlgorithmParameters.from_instance(1000, 4)
+        high_d = AlgorithmParameters.from_instance(1000, 900)
+        assert low_d.theoretical_rounds(1000) == pytest.approx(
+            1000 ** 0.9 * 4 ** 0.3
+        )
+        # For huge D the min{.., n} branch caps the bound at n.
+        assert high_d.theoretical_rounds(1000) == 1000
+
+    def test_crossover_at_d_equals_n_third(self):
+        n = 10**6
+        d_cross = n ** (1 / 3)
+        params = AlgorithmParameters.from_instance(n, d_cross)
+        assert params.theoretical_rounds(n) == pytest.approx(n, rel=1e-6)
+
+
+class TestForNetwork:
+    def test_uses_measured_diameter(self):
+        graph = path_of_cliques(6, 5, max_weight=9, seed=1)
+        network = Network(graph)
+        params = AlgorithmParameters.for_network(network)
+        assert params.unweighted_diameter == network.unweighted_diameter()
+
+    def test_delta_passed_through(self):
+        graph = random_weighted_graph(20, max_weight=5, seed=2)
+        params = AlgorithmParameters.for_network(Network(graph), delta=0.03)
+        assert params.delta == 0.03

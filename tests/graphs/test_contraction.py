@@ -1,0 +1,98 @@
+"""Tests for edge contraction and Lemma 4.3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    contract_unit_weight_edges,
+    diameter,
+    path_graph,
+    radius,
+    random_weighted_graph,
+)
+from repro.graphs.contraction import contract_edges
+
+
+class TestContractEdges:
+    def test_no_edges_to_contract(self, triangle_graph):
+        result = contract_edges(triangle_graph, lambda u, v, w: False)
+        assert result.graph == triangle_graph
+
+    def test_contract_everything(self):
+        graph = path_graph(5)
+        result = contract_unit_weight_edges(graph)
+        assert result.graph.num_nodes == 1
+        assert result.graph.num_edges == 0
+
+    def test_representative_is_smallest_label(self):
+        graph = WeightedGraph(edges=[(3, 7, 1), (7, 5, 1)])
+        result = contract_unit_weight_edges(graph)
+        assert result.graph.nodes == [3]
+        assert result.super_node_of(5) == 3
+        assert result.super_node_of(7) == 3
+
+    def test_classes_partition_nodes(self, weighted_random_graph):
+        result = contract_unit_weight_edges(weighted_random_graph)
+        members = [node for cls in result.classes.values() for node in cls]
+        assert sorted(members) == sorted(weighted_random_graph.nodes)
+
+    def test_parallel_edges_keep_minimum_weight(self):
+        # Contracting 1-2 creates parallel edges {0, 1} (weight 5) and
+        # {0, 2} (weight 3); the contracted edge must keep weight 3.
+        graph = WeightedGraph()
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(0, 1, 5)
+        graph.add_edge(0, 2, 3)
+        result = contract_unit_weight_edges(graph)
+        assert result.graph.weight(0, 1) == 3
+
+    def test_internal_edges_disappear(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(0, 2, 9)  # becomes internal after contraction
+        result = contract_unit_weight_edges(graph)
+        assert result.graph.num_nodes == 1
+        assert result.graph.num_edges == 0
+
+    def test_custom_predicate(self):
+        graph = WeightedGraph(edges=[(0, 1, 2), (1, 2, 4), (2, 3, 2)])
+        result = contract_edges(graph, lambda u, v, w: w == 2)
+        assert result.graph.num_nodes == 2
+        assert result.graph.num_edges == 1
+        assert list(result.graph.edges())[0][2] == 4
+
+
+class TestLemma43:
+    """``D_{G'} <= D_G <= D_{G'} + n`` and the same for the radius."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_diameter_sandwich(self, seed):
+        graph = random_weighted_graph(num_nodes=16, max_weight=6, seed=seed)
+        # Force a decent number of weight-1 edges.
+        graph = graph.reweighted(lambda u, v, w: 1 if (u + v) % 3 == 0 else w)
+        contracted = contract_unit_weight_edges(graph).graph
+        if contracted.num_nodes < 1:
+            pytest.skip("entire graph contracted")
+        n = graph.num_nodes
+        d_original = diameter(graph)
+        if contracted.num_nodes == 1:
+            assert d_original <= n
+            return
+        d_contracted = diameter(contracted)
+        assert d_contracted <= d_original <= d_contracted + n
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_radius_sandwich(self, seed):
+        graph = random_weighted_graph(num_nodes=16, max_weight=6, seed=seed)
+        graph = graph.reweighted(lambda u, v, w: 1 if (u * v) % 4 == 0 else w)
+        contracted = contract_unit_weight_edges(graph).graph
+        n = graph.num_nodes
+        r_original = radius(graph)
+        if contracted.num_nodes == 1:
+            assert r_original <= n
+            return
+        r_contracted = radius(contracted)
+        assert r_contracted <= r_original <= r_contracted + n

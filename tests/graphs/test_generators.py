@@ -1,0 +1,161 @@
+"""Tests for the graph generators used by the benchmark sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    balanced_binary_tree,
+    barbell_graph,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    low_diameter_expander,
+    path_graph,
+    path_of_cliques,
+    random_geometric_graph,
+    random_tree,
+    random_weighted_graph,
+    star_graph,
+    unweighted_diameter,
+)
+from repro.graphs.generators import assign_random_weights
+
+
+class TestBasicFamilies:
+    def test_path(self):
+        graph = path_graph(7)
+        assert graph.num_nodes == 7
+        assert graph.num_edges == 6
+        assert unweighted_diameter(graph) == 6
+
+    def test_cycle(self):
+        graph = cycle_graph(8)
+        assert graph.num_edges == 8
+        assert unweighted_diameter(graph) == 4
+
+    def test_complete(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 15
+        assert unweighted_diameter(graph) == 1
+
+    def test_star(self):
+        graph = star_graph(9)
+        assert graph.num_nodes == 10
+        assert all(graph.has_edge(0, leaf) for leaf in range(1, 10))
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert unweighted_diameter(graph) == 5
+
+    def test_binary_tree(self):
+        graph = balanced_binary_tree(3)
+        assert graph.num_nodes == 15
+        assert graph.num_edges == 14
+        assert unweighted_diameter(graph) == 6
+
+    def test_random_tree_is_tree(self):
+        graph = random_tree(20, seed=3)
+        assert graph.num_edges == graph.num_nodes - 1
+        assert graph.is_connected()
+
+    def test_caterpillar(self):
+        graph = caterpillar_graph(spine_length=5, legs_per_node=2)
+        assert graph.num_nodes == 5 + 10
+        assert unweighted_diameter(graph) == 6
+
+    def test_barbell(self):
+        graph = barbell_graph(clique_size=4, bridge_length=3)
+        assert graph.is_connected()
+        assert graph.num_nodes == 8 + 2
+        assert unweighted_diameter(graph) >= 3
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_connected(self):
+        graph = erdos_renyi_graph(30, 0.1, seed=2)
+        assert graph.is_connected()
+        assert graph.num_nodes == 30
+
+    def test_erdos_renyi_without_repair_can_disconnect(self):
+        graph = erdos_renyi_graph(30, 0.01, seed=2, ensure_connected=False)
+        assert graph.num_nodes == 30  # structure only; connectivity not guaranteed
+
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi_graph(20, 0.2, max_weight=9, seed=5)
+        b = erdos_renyi_graph(20, 0.2, max_weight=9, seed=5)
+        assert a == b
+
+    def test_erdos_renyi_probability_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_random_geometric_connected(self):
+        graph = random_geometric_graph(25, 0.3, seed=1)
+        assert graph.is_connected()
+
+    def test_random_weighted_graph_weights_in_range(self):
+        graph = random_weighted_graph(30, max_weight=17, seed=4)
+        assert graph.is_connected()
+        assert all(1 <= w <= 17 for _, _, w in graph.edges())
+
+    def test_expander_low_diameter(self):
+        graph = low_diameter_expander(64, degree=6, seed=1)
+        assert graph.is_connected()
+        assert unweighted_diameter(graph) <= 8
+
+    def test_assign_random_weights_preserves_structure(self):
+        graph = path_graph(10)
+        weighted = assign_random_weights(graph, max_weight=50, seed=9)
+        assert weighted.num_edges == graph.num_edges
+        assert set(weighted.nodes) == set(graph.nodes)
+        assert any(w > 1 for _, _, w in weighted.edges())
+
+
+class TestPathOfCliques:
+    def test_node_count(self):
+        graph = path_of_cliques(5, 4)
+        assert graph.num_nodes == 20
+        assert graph.is_connected()
+
+    def test_diameter_scales_with_clique_count(self):
+        short = path_of_cliques(3, 6)
+        long = path_of_cliques(12, 2)
+        assert unweighted_diameter(long) > unweighted_diameter(short)
+
+    def test_single_clique(self):
+        graph = path_of_cliques(1, 5)
+        assert unweighted_diameter(graph) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: path_graph(0),
+            lambda: cycle_graph(2),
+            lambda: complete_graph(0),
+            lambda: star_graph(0),
+            lambda: grid_graph(0, 3),
+            lambda: balanced_binary_tree(-1),
+            lambda: caterpillar_graph(0, 2),
+            lambda: barbell_graph(0, 1),
+            lambda: path_of_cliques(0, 3),
+            lambda: low_diameter_expander(3),
+            lambda: random_weighted_graph(1),
+        ],
+    )
+    def test_invalid_sizes_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+    def test_unit_weight_default(self):
+        graph = path_graph(5)
+        assert all(w == 1 for _, _, w in graph.edges())
+
+    def test_max_weight_respected(self):
+        graph = cycle_graph(10, max_weight=3, seed=8)
+        assert all(1 <= w <= 3 for _, _, w in graph.edges())

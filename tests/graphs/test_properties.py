@@ -1,0 +1,170 @@
+"""Tests for eccentricity / diameter / radius / hop-diameter computations."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    all_eccentricities,
+    center,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    eccentricity,
+    hop_diameter,
+    hop_distance,
+    path_graph,
+    periphery,
+    radius,
+    random_weighted_graph,
+    star_graph,
+    unweighted_diameter,
+)
+
+
+class TestEccentricity:
+    def test_path_center_vs_end(self):
+        graph = path_graph(5)
+        assert eccentricity(graph, 0) == 4
+        assert eccentricity(graph, 2) == 2
+
+    def test_weighted_triangle(self, triangle_graph):
+        assert eccentricity(triangle_graph, 0) == 7
+        assert eccentricity(triangle_graph, 1) == 4
+        assert eccentricity(triangle_graph, 2) == 7
+
+    def test_all_eccentricities_consistent(self, weighted_random_graph):
+        table = all_eccentricities(weighted_random_graph)
+        for node in list(weighted_random_graph.nodes)[:6]:
+            assert table[node] == eccentricity(weighted_random_graph, node)
+
+    def test_disconnected_is_infinite(self):
+        graph = WeightedGraph(nodes=[0, 1])
+        assert eccentricity(graph, 0) == math.inf
+
+
+class TestDiameterRadius:
+    def test_path(self):
+        graph = path_graph(6)
+        assert diameter(graph) == 5
+        assert radius(graph) == 3
+
+    def test_star(self):
+        graph = star_graph(5)
+        assert diameter(graph) == 2
+        assert radius(graph) == 1
+
+    def test_complete(self):
+        graph = complete_graph(6)
+        assert diameter(graph) == 1
+        assert radius(graph) == 1
+
+    def test_cycle(self):
+        graph = cycle_graph(8)
+        assert diameter(graph) == 4
+        assert radius(graph) == 4
+
+    def test_weighted_triangle(self, triangle_graph):
+        assert diameter(triangle_graph) == 7
+        assert radius(triangle_graph) == 4
+
+    def test_radius_at_most_diameter(self, weighted_random_graph):
+        assert radius(weighted_random_graph) <= diameter(weighted_random_graph)
+
+    def test_diameter_at_most_twice_radius(self, weighted_random_graph):
+        assert diameter(weighted_random_graph) <= 2 * radius(weighted_random_graph)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            diameter(WeightedGraph())
+        with pytest.raises(ValueError):
+            radius(WeightedGraph())
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        graph = random_weighted_graph(num_nodes=18, max_weight=12, seed=seed)
+        nx_graph = graph.to_networkx()
+        lengths = dict(nx.all_pairs_dijkstra_path_length(nx_graph))
+        nx_ecc = nx.eccentricity(nx_graph, sp=lengths)
+        assert diameter(graph) == max(nx_ecc.values())
+        assert radius(graph) == min(nx_ecc.values())
+
+
+class TestCenterPeriphery:
+    def test_path_center(self):
+        graph = path_graph(5)
+        assert center(graph) == [2]
+        assert set(periphery(graph)) == {0, 4}
+
+    def test_star_center(self):
+        graph = star_graph(4)
+        assert center(graph) == [0]
+
+    def test_center_eccentricity_is_radius(self, weighted_random_graph):
+        r = radius(weighted_random_graph)
+        for node in center(weighted_random_graph):
+            assert eccentricity(weighted_random_graph, node) == r
+
+    def test_periphery_eccentricity_is_diameter(self, weighted_random_graph):
+        d = diameter(weighted_random_graph)
+        for node in periphery(weighted_random_graph):
+            assert eccentricity(weighted_random_graph, node) == d
+
+
+class TestUnweightedDiameter:
+    def test_weights_are_ignored(self):
+        graph = path_graph(5, max_weight=100, seed=1)
+        assert unweighted_diameter(graph) == 4
+
+    def test_matches_networkx(self, weighted_random_graph):
+        expected = nx.diameter(weighted_random_graph.to_networkx())
+        assert unweighted_diameter(weighted_random_graph) == expected
+
+
+class TestHopDistance:
+    def test_direct_heavy_edge_not_on_shortest_path(self, triangle_graph):
+        # Shortest 0->2 route goes through 1 (weight 7), so 2 hops.
+        assert hop_distance(triangle_graph, 0, 2) == 2
+
+    def test_same_node(self, triangle_graph):
+        assert hop_distance(triangle_graph, 1, 1) == 0
+
+    def test_unknown_node_raises(self, triangle_graph):
+        with pytest.raises(KeyError):
+            hop_distance(triangle_graph, 0, 77)
+
+    def test_unweighted_path(self):
+        graph = path_graph(6)
+        assert hop_distance(graph, 0, 5) == 5
+
+    def test_disconnected(self):
+        graph = WeightedGraph(nodes=[0, 1])
+        assert hop_distance(graph, 0, 1) == math.inf
+
+
+class TestHopDiameter:
+    def test_unit_weights_equal_unweighted_diameter(self, small_grid):
+        assert hop_diameter(small_grid) == unweighted_diameter(small_grid)
+
+    def test_heavy_shortcut_increases_hop_diameter(self):
+        # A 4-node path plus a very heavy chord: the chord never lies on a
+        # shortest path, so the hop diameter stays 3.
+        graph = path_graph(4)
+        graph.add_edge(0, 3, 100)
+        assert hop_diameter(graph) == 3
+
+    def test_light_shortcut_decreases_hop_diameter(self):
+        graph = path_graph(4)
+        graph.add_edge(0, 3, 1)
+        assert hop_diameter(graph) == 2
+
+    def test_at_least_needed_hops(self, weighted_random_graph):
+        assert hop_diameter(weighted_random_graph) >= 1
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            hop_diameter(WeightedGraph())

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the graph substrate invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    WeightedGraph,
+    bounded_hop_distances,
+    contract_unit_weight_edges,
+    diameter,
+    dijkstra,
+    eccentricity,
+    radius,
+)
+from repro.graphs.rounding import approx_bounded_hop_distances_from
+
+INF = math.inf
+
+
+@st.composite
+def connected_weighted_graphs(draw, max_nodes: int = 12, max_weight: int = 20):
+    """A random connected weighted graph: a random spanning tree plus extra edges."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = WeightedGraph(nodes=range(num_nodes))
+    # Spanning tree: attach each node to a random earlier node.
+    for node in range(1, num_nodes):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        weight = draw(st.integers(min_value=1, max_value=max_weight))
+        graph.add_edge(parent, node, weight)
+    # Extra edges.
+    extra = draw(st.integers(min_value=0, max_value=num_nodes))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        v = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        if u == v or graph.has_edge(u, v):
+            continue
+        weight = draw(st.integers(min_value=1, max_value=max_weight))
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+@given(connected_weighted_graphs())
+@settings(max_examples=60, deadline=None)
+def test_distances_symmetric(graph):
+    """d(u, v) == d(v, u) on undirected graphs."""
+    nodes = graph.nodes
+    source, target = nodes[0], nodes[-1]
+    assert dijkstra(graph, source)[target] == dijkstra(graph, target)[source]
+
+
+@given(connected_weighted_graphs())
+@settings(max_examples=60, deadline=None)
+def test_triangle_inequality(graph):
+    """d(u, v) <= d(u, w) + d(w, v) for all sampled triples."""
+    nodes = graph.nodes
+    tables = {node: dijkstra(graph, node) for node in nodes[:4]}
+    for u in nodes[:4]:
+        for v in nodes[:4]:
+            for w in nodes[:4]:
+                assert tables[u][v] <= tables[u][w] + tables[w][v] + 1e-9
+
+
+@given(connected_weighted_graphs())
+@settings(max_examples=50, deadline=None)
+def test_radius_diameter_sandwich(graph):
+    """R <= D <= 2R for every connected graph."""
+    d = diameter(graph)
+    r = radius(graph)
+    assert r <= d <= 2 * r
+
+
+@given(connected_weighted_graphs())
+@settings(max_examples=50, deadline=None)
+def test_eccentricity_bounds_distance(graph):
+    """Every distance from u is at most u's eccentricity."""
+    source = graph.nodes[0]
+    distances = dijkstra(graph, source)
+    assert max(distances.values()) == eccentricity(graph, source)
+
+
+@given(connected_weighted_graphs(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=50, deadline=None)
+def test_bounded_hop_upper_bounds_true_distance(graph, hops):
+    """The l-hop distance never undercuts the true distance."""
+    source = graph.nodes[0]
+    exact = dijkstra(graph, source)
+    limited = bounded_hop_distances(graph, source, hops)
+    for node in graph.nodes:
+        assert limited[node] >= exact[node] - 1e-9
+
+
+@given(
+    connected_weighted_graphs(max_nodes=10, max_weight=12),
+    st.integers(min_value=2, max_value=5),
+    st.sampled_from([0.25, 0.5, 1.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_lemma_3_2_sandwich_property(graph, hops, epsilon):
+    """Lemma 3.2: d <= d~^l <= (1 + eps) * d^l wherever an l-hop path exists."""
+    source = graph.nodes[0]
+    approx = approx_bounded_hop_distances_from(graph, source, hops, epsilon)
+    exact = dijkstra(graph, source)
+    limited = bounded_hop_distances(graph, source, hops)
+    for node in graph.nodes:
+        if limited[node] is INF:
+            continue
+        assert approx[node] >= exact[node] - 1e-9
+        assert approx[node] <= (1 + epsilon) * limited[node] + 1e-9
+
+
+@given(connected_weighted_graphs(max_nodes=10, max_weight=8))
+@settings(max_examples=40, deadline=None)
+def test_lemma_4_3_contraction_sandwich(graph):
+    """Lemma 4.3: D_{G'} <= D_G <= D_{G'} + n after contracting weight-1 edges."""
+    n = graph.num_nodes
+    contracted = contract_unit_weight_edges(graph).graph
+    d_original = diameter(graph)
+    if contracted.num_nodes <= 1:
+        assert d_original <= n
+        return
+    d_contracted = diameter(contracted)
+    assert d_contracted <= d_original <= d_contracted + n
+
+
+@given(connected_weighted_graphs(max_nodes=10, max_weight=8))
+@settings(max_examples=40, deadline=None)
+def test_unit_weight_copy_preserves_structure(graph):
+    """with_unit_weights keeps the edge set and node set intact."""
+    unit = graph.with_unit_weights()
+    assert set(unit.nodes) == set(graph.nodes)
+    assert {(u, v) for u, v, _ in unit.edges()} == {
+        (u, v) for u, v, _ in graph.edges()
+    }

@@ -1,0 +1,116 @@
+"""Tests for the Lemma 3.2 weight-rounding scheme."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    bounded_hop_distances,
+    dijkstra,
+    path_graph,
+    random_weighted_graph,
+)
+from repro.graphs.rounding import (
+    approx_bounded_hop_distance,
+    approx_bounded_hop_distances_from,
+    rounded_weights,
+    rounding_levels,
+    verify_lemma_3_2,
+)
+
+INF = math.inf
+
+
+class TestRoundingLevels:
+    def test_positive(self, weighted_random_graph):
+        assert rounding_levels(weighted_random_graph, 5, 0.5) >= 1
+
+    def test_more_levels_for_larger_weights(self):
+        small = random_weighted_graph(num_nodes=12, max_weight=2, seed=1)
+        large = random_weighted_graph(num_nodes=12, max_weight=1000, seed=1)
+        assert rounding_levels(large, 4, 0.5) > rounding_levels(small, 4, 0.5)
+
+    def test_invalid_arguments(self, weighted_random_graph):
+        with pytest.raises(ValueError):
+            rounding_levels(weighted_random_graph, 0, 0.5)
+        with pytest.raises(ValueError):
+            rounding_levels(weighted_random_graph, 3, 0)
+
+
+class TestRoundedWeights:
+    def test_weights_positive_integers(self, weighted_random_graph):
+        rounded = rounded_weights(weighted_random_graph, hop_bound=5, epsilon=0.5, level=3)
+        assert all(isinstance(w, int) and w >= 1 for _, _, w in rounded.edges())
+
+    def test_level_zero_scales_up(self, triangle_graph):
+        rounded = rounded_weights(triangle_graph, hop_bound=4, epsilon=0.5, level=0)
+        # w_0(e) = ceil(2*4*w / 0.5) = 16*w
+        assert rounded.weight(0, 1) == 16 * 3
+
+    def test_high_level_collapses_to_one(self, triangle_graph):
+        rounded = rounded_weights(triangle_graph, hop_bound=4, epsilon=0.5, level=30)
+        assert all(w == 1 for _, _, w in rounded.edges())
+
+    def test_negative_level_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            rounded_weights(triangle_graph, 4, 0.5, -1)
+
+
+class TestApproxBoundedHopDistance:
+    @pytest.mark.parametrize("epsilon", [0.25, 0.5, 1.0])
+    def test_sandwich_inequality(self, weighted_random_graph, epsilon):
+        hop_bound = 6
+        source = 0
+        approx = approx_bounded_hop_distances_from(
+            weighted_random_graph, source, hop_bound, epsilon
+        )
+        exact = dijkstra(weighted_random_graph, source)
+        hop_limited = bounded_hop_distances(weighted_random_graph, source, hop_bound)
+        for node in weighted_random_graph.nodes:
+            if hop_limited[node] is INF:
+                continue
+            assert approx[node] >= exact[node] - 1e-9
+            assert approx[node] <= (1 + epsilon) * hop_limited[node] + 1e-9
+
+    def test_source_is_zero(self, weighted_random_graph):
+        approx = approx_bounded_hop_distances_from(weighted_random_graph, 3, 4, 0.5)
+        assert approx[3] == 0
+
+    def test_far_node_never_underestimated(self):
+        # Node 5 has no 2-hop path from 0; Lemma 3.2's upper constraint is
+        # vacuous there, but the lower bound d~ >= d must still hold (the
+        # coarsest rounding level can certify it with a rescaled value).
+        graph = path_graph(6, max_weight=1)
+        approx = approx_bounded_hop_distances_from(graph, 0, 2, 0.5)
+        exact = dijkstra(graph, 0)
+        assert approx[5] >= exact[5] - 1e-9
+        assert approx[2] < INF
+
+    def test_single_pair_wrapper(self, weighted_random_graph):
+        table = approx_bounded_hop_distances_from(weighted_random_graph, 0, 5, 0.5)
+        single = approx_bounded_hop_distance(weighted_random_graph, 0, 7, 5, 0.5)
+        assert single == table[7]
+
+    def test_unknown_source_raises(self, triangle_graph):
+        with pytest.raises(KeyError):
+            approx_bounded_hop_distances_from(triangle_graph, 9, 2, 0.5)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_verify_lemma_3_2_helper(self, seed):
+        graph = random_weighted_graph(num_nodes=16, max_weight=25, seed=seed)
+        assert verify_lemma_3_2(graph, source=0, hop_bound=5, epsilon=0.5)
+
+    def test_tighter_epsilon_not_worse(self, weighted_random_graph):
+        loose = approx_bounded_hop_distances_from(weighted_random_graph, 0, 6, 1.0)
+        tight = approx_bounded_hop_distances_from(weighted_random_graph, 0, 6, 0.1)
+        exact = dijkstra(weighted_random_graph, 0)
+        hop_limited = bounded_hop_distances(weighted_random_graph, 0, 6)
+        for node in weighted_random_graph.nodes:
+            if hop_limited[node] is INF:
+                continue
+            # Both stay within their own guarantee, and the tighter epsilon's
+            # guarantee is stronger.
+            assert tight[node] <= (1 + 0.1) * hop_limited[node] + 1e-9
+            assert loose[node] >= exact[node] - 1e-9

@@ -1,0 +1,182 @@
+"""Tests for the exact shortest-path algorithms (cross-checked against networkx)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    all_pairs_distances,
+    bellman_ford,
+    bounded_distance_sssp,
+    bounded_hop_distances,
+    dijkstra,
+    path_graph,
+    random_weighted_graph,
+    shortest_path,
+)
+
+INF = math.inf
+
+
+class TestDijkstra:
+    def test_triangle(self, triangle_graph):
+        distances = dijkstra(triangle_graph, 0)
+        assert distances == {0: 0, 1: 3, 2: 7}
+
+    def test_source_distance_zero(self, weighted_random_graph):
+        assert dijkstra(weighted_random_graph, 0)[0] == 0
+
+    def test_unknown_source_raises(self, triangle_graph):
+        with pytest.raises(KeyError):
+            dijkstra(triangle_graph, 999)
+
+    def test_disconnected_gives_inf(self):
+        graph = WeightedGraph(nodes=[0, 1, 2])
+        graph.add_edge(0, 1, 2)
+        distances = dijkstra(graph, 0)
+        assert distances[2] == INF
+
+    def test_matches_networkx(self, weighted_random_graph):
+        ours = dijkstra(weighted_random_graph, 0)
+        theirs = nx.single_source_dijkstra_path_length(
+            weighted_random_graph.to_networkx(), 0
+        )
+        for node, value in theirs.items():
+            assert ours[node] == value
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_networkx_multiple_seeds(self, seed):
+        graph = random_weighted_graph(num_nodes=20, max_weight=30, seed=seed)
+        ours = dijkstra(graph, 0)
+        theirs = nx.single_source_dijkstra_path_length(graph.to_networkx(), 0)
+        assert all(ours[node] == value for node, value in theirs.items())
+
+
+class TestBellmanFord:
+    def test_matches_dijkstra(self, weighted_random_graph):
+        assert bellman_ford(weighted_random_graph, 0) == dijkstra(
+            weighted_random_graph, 0
+        )
+
+    def test_zero_hops(self, small_path):
+        distances = bellman_ford(small_path, 0, max_hops=0)
+        assert distances[0] == 0
+        assert all(distances[v] == INF for v in small_path.nodes if v != 0)
+
+    def test_hop_limited_matches_reference(self, weighted_random_graph):
+        for hops in (1, 2, 3):
+            relaxed = bellman_ford(weighted_random_graph, 0, max_hops=hops)
+            reference = bounded_hop_distances(weighted_random_graph, 0, hops)
+            assert relaxed == reference
+
+    def test_unknown_source_raises(self, small_path):
+        with pytest.raises(KeyError):
+            bellman_ford(small_path, 42)
+
+
+class TestBoundedHopDistances:
+    def test_one_hop_is_edge_weight(self, triangle_graph):
+        distances = bounded_hop_distances(triangle_graph, 0, 1)
+        assert distances == {0: 0, 1: 3, 2: 10}
+
+    def test_two_hops_finds_cheaper_route(self, triangle_graph):
+        distances = bounded_hop_distances(triangle_graph, 0, 2)
+        assert distances[2] == 7
+
+    def test_enough_hops_equals_true_distance(self, weighted_random_graph):
+        n = weighted_random_graph.num_nodes
+        assert bounded_hop_distances(weighted_random_graph, 0, n - 1) == dijkstra(
+            weighted_random_graph, 0
+        )
+
+    def test_monotone_in_hop_budget(self, weighted_random_graph):
+        previous = bounded_hop_distances(weighted_random_graph, 0, 1)
+        for hops in range(2, 6):
+            current = bounded_hop_distances(weighted_random_graph, 0, hops)
+            assert all(current[v] <= previous[v] for v in weighted_random_graph.nodes)
+            previous = current
+
+    def test_negative_hops_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            bounded_hop_distances(triangle_graph, 0, -1)
+
+
+class TestBoundedDistanceSssp:
+    def test_threshold_cuts_far_nodes(self, small_path):
+        distances = bounded_distance_sssp(small_path, 0, 5)
+        assert distances[0] == 0
+        assert distances[1] == 2
+        assert distances[2] == 5
+        assert distances[3] == INF
+        assert distances[4] == INF
+
+    def test_large_threshold_is_exact(self, weighted_random_graph):
+        exact = dijkstra(weighted_random_graph, 0)
+        bounded = bounded_distance_sssp(weighted_random_graph, 0, 10**9)
+        assert bounded == exact
+
+
+class TestAllPairs:
+    def test_symmetry(self, weighted_random_graph):
+        table = all_pairs_distances(weighted_random_graph)
+        nodes = weighted_random_graph.nodes
+        for u in nodes[:8]:
+            for v in nodes[:8]:
+                assert table[u][v] == table[v][u]
+
+    def test_triangle_inequality(self, weighted_random_graph):
+        table = all_pairs_distances(weighted_random_graph)
+        nodes = weighted_random_graph.nodes[:8]
+        for u in nodes:
+            for v in nodes:
+                for w in nodes:
+                    assert table[u][v] <= table[u][w] + table[w][v] + 1e-9
+
+    def test_matches_networkx(self, weighted_random_graph):
+        table = all_pairs_distances(weighted_random_graph)
+        theirs = dict(
+            nx.all_pairs_dijkstra_path_length(weighted_random_graph.to_networkx())
+        )
+        for u, row in theirs.items():
+            for v, value in row.items():
+                assert table[u][v] == value
+
+
+class TestShortestPath:
+    def test_path_endpoints(self, weighted_random_graph):
+        distance, path = shortest_path(weighted_random_graph, 0, 5)
+        assert path[0] == 0
+        assert path[-1] == 5
+
+    def test_path_length_matches_distance(self, weighted_random_graph):
+        distance, path = shortest_path(weighted_random_graph, 0, 7)
+        total = sum(
+            weighted_random_graph.weight(a, b) for a, b in zip(path, path[1:])
+        )
+        assert total == distance
+
+    def test_source_equals_target(self, triangle_graph):
+        distance, path = shortest_path(triangle_graph, 1, 1)
+        assert distance == 0
+        assert path == [1]
+
+    def test_unreachable(self):
+        graph = WeightedGraph(nodes=[0, 1])
+        distance, path = shortest_path(graph, 0, 1)
+        assert distance == INF
+        assert path == []
+
+    def test_unknown_nodes_raise(self, triangle_graph):
+        with pytest.raises(KeyError):
+            shortest_path(triangle_graph, 0, 99)
+        with pytest.raises(KeyError):
+            shortest_path(triangle_graph, 99, 0)
+
+    def test_path_graph_order(self):
+        graph = path_graph(6)
+        _, path = shortest_path(graph, 0, 5)
+        assert path == [0, 1, 2, 3, 4, 5]

@@ -1,0 +1,118 @@
+"""End-to-end integration tests across the library's layers.
+
+These tests tie the whole pipeline together the way the benchmarks and
+examples do: generate a workload, run the quantum algorithm and the classical
+baselines on the same network, and check both the answers and the relative
+round behaviour; plus a miniature version of the lower-bound chain.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import quantum_weighted_diameter, quantum_weighted_radius
+from repro.analysis import fit_power_law, theorem11_upper_bound
+from repro.congest import Network
+from repro.core import (
+    classical_exact_diameter,
+    classical_exact_radius,
+    sssp_two_approximation_diameter,
+)
+from repro.graphs import diameter, low_diameter_expander, path_of_cliques, radius
+from repro.lower_bounds import (
+    GadgetParameters,
+    diameter_round_lower_bound,
+    verify_diameter_gap,
+    verify_radius_gap,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = low_diameter_expander(32, degree=6, max_weight=30, seed=17)
+    return Network(graph)
+
+
+class TestUpperBoundPipeline:
+    def test_quantum_and_classical_agree_on_answer(self, workload):
+        quantum = quantum_weighted_diameter(workload, seed=3)
+        classical = classical_exact_diameter(workload)
+        assert classical.value == diameter(workload.graph)
+        assert quantum.within_guarantee
+        assert classical.value <= quantum.value <= (
+            (1 + quantum.parameters.epsilon) ** 2 * classical.value + 1e-9
+        )
+
+    def test_radius_pipeline(self, workload):
+        quantum = quantum_weighted_radius(workload, seed=5)
+        classical = classical_exact_radius(workload)
+        assert classical.value == radius(workload.graph)
+        assert quantum.within_guarantee
+
+    def test_two_approximation_brackets_quantum_estimate(self, workload):
+        quantum = quantum_weighted_diameter(workload, seed=1)
+        bracket = sssp_two_approximation_diameter(workload)
+        # The SSSP 2-approximation certifies D in [e, 2e]; the quantum
+        # (1+eps)^2 estimate must land within a slightly inflated bracket.
+        factor = (1 + quantum.parameters.epsilon) ** 2
+        assert bracket.lower_bound - 1e-9 <= quantum.value
+        assert quantum.value <= factor * bracket.upper_bound + 1e-9
+
+    def test_the_paper_entry_point_is_exported(self):
+        import repro
+
+        assert repro.quantum_weighted_diameter is quantum_weighted_diameter
+        assert "quantum_weighted_radius" in repro.__all__
+        with pytest.raises(AttributeError):
+            repro.nonexistent_symbol
+
+
+class TestScalingShape:
+    def test_theoretical_rounds_grow_with_measured_rounds(self):
+        """Across a small sweep, measured charges and the Theorem 1.1 curve
+        must be positively correlated (same ordering of instances)."""
+        measurements = []
+        for num_cliques, clique_size, seed in ((4, 6, 1), (8, 5, 2), (12, 4, 3)):
+            graph = path_of_cliques(num_cliques, clique_size, max_weight=12, seed=seed)
+            network = Network(graph)
+            result = quantum_weighted_diameter(network, seed=seed, compute_exact=False)
+            theory = theorem11_upper_bound(
+                network.num_nodes, network.unweighted_diameter()
+            )
+            measurements.append((theory, result.total_rounds))
+        measurements.sort()
+        theories = [m[0] for m in measurements]
+        rounds = [m[1] for m in measurements]
+        fit = fit_power_law(theories, rounds)
+        assert fit.exponent > 0
+
+
+class TestLowerBoundPipeline:
+    def test_gap_verification_and_certificate_consistent(self):
+        provisional = GadgetParameters(height=2, num_blocks=2, ell=2, alpha=10, beta=20)
+        n = provisional.expected_num_nodes()
+        params = GadgetParameters(
+            height=2, num_blocks=2, ell=2, alpha=n * n, beta=2 * n * n
+        )
+        diameter_records = verify_diameter_gap(params, num_samples=5, seed=0)
+        radius_records = verify_radius_gap(params, num_samples=5, seed=0)
+        assert all(r.holds for r in diameter_records)
+        assert all(r.holds for r in radius_records)
+
+        certificate = diameter_round_lower_bound(4)
+        # The asymptotic statement: the bound is polynomial in n while the
+        # gadget's unweighted diameter stays logarithmic.
+        assert certificate.round_lower_bound > 0
+        assert certificate.unweighted_diameter_bound <= 4 * math.log2(
+            certificate.num_nodes
+        )
+
+    def test_lower_bound_below_upper_bound_for_all_heights(self):
+        for height in (4, 6, 8):
+            certificate = diameter_round_lower_bound(height)
+            upper = theorem11_upper_bound(
+                certificate.num_nodes, certificate.unweighted_diameter_bound
+            )
+            assert certificate.round_lower_bound <= upper

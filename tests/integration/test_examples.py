@@ -1,0 +1,60 @@
+"""Regression tests for the example scripts.
+
+Each example is imported as a module and its ``main()`` is executed; the test
+asserts it runs to completion and prints the headline sections.  This keeps
+the examples from rotting as the library evolves.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+        assert "quickstart.py" in scripts
+        assert len(scripts) >= 4
+
+    def test_quickstart(self, capsys):
+        _load_example("quickstart").main()
+        output = capsys.readouterr().out
+        assert "Weighted diameter / radius" in output
+        assert "diameter" in output and "radius" in output
+        assert "Theorem 1.1" in output
+
+    def test_sensor_network_monitoring(self, capsys):
+        _load_example("sensor_network_monitoring").main()
+        output = capsys.readouterr().out
+        assert "Latency monitoring summary" in output
+        assert "True network center" in output
+        assert "Sink suggested by the quantum search" in output
+
+    def test_topology_scaling_study(self, capsys):
+        _load_example("topology_scaling_study").main()
+        output = capsys.readouterr().out
+        assert "Diameter computation across topologies" in output
+        assert "expander" in output
+        assert "cliques" in output
+
+    def test_lower_bound_gadget_demo(self, capsys):
+        _load_example("lower_bound_gadget_demo").main()
+        output = capsys.readouterr().out
+        assert "Lemma 4.4" in output
+        assert "Lemma 4.1 simulation" in output
+        assert "Theorem 4.2" in output

@@ -1,0 +1,142 @@
+"""Tests for the LP-based approximate-degree machinery (Lemmas 4.5-4.7 ingredients)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lower_bounds import (
+    approximate_degree,
+    approximate_degree_lower_bound_read_once,
+    symmetric_approximate_degree,
+)
+from repro.lower_bounds.approx_degree import (
+    polynomial_approximation_error,
+    symmetric_polynomial_approximation_error,
+)
+from repro.lower_bounds.functions import compose_read_once, or_formula
+
+
+def and_n(bits):
+    return int(all(bits))
+
+
+def or_n(bits):
+    return int(any(bits))
+
+
+def parity(bits):
+    return sum(bits) % 2
+
+
+class TestExactLp:
+    def test_constant_function_degree_zero(self):
+        assert approximate_degree(lambda bits: 1, 3) == 0
+        assert approximate_degree(lambda bits: 0, 3) == 0
+
+    def test_single_variable(self):
+        assert approximate_degree(lambda bits: bits[0], 2) == 1
+
+    def test_parity_needs_full_degree(self):
+        # Parity famously has approximate degree n.
+        assert approximate_degree(parity, 4) == 4
+
+    def test_and_or_degrees_equal_by_duality(self):
+        for n in (2, 3, 4, 5):
+            assert approximate_degree(and_n, n) == approximate_degree(or_n, n)
+
+    @pytest.mark.parametrize("n,expected_max", [(2, 2), (4, 2), (6, 3), (9, 3)])
+    def test_and_degree_sqrt_growth(self, n, expected_max):
+        degree = approximate_degree(and_n, n)
+        assert degree <= expected_max
+        assert degree >= max(1, math.floor(0.7 * math.sqrt(n)))
+
+    def test_error_decreases_with_degree(self):
+        errors = [
+            polynomial_approximation_error(and_n, 5, degree) for degree in range(4)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+        assert errors[-1] < errors[0]
+
+    def test_larger_epsilon_never_larger_degree(self):
+        loose = approximate_degree(and_n, 6, epsilon=0.45)
+        tight = approximate_degree(and_n, 6, epsilon=0.05)
+        assert loose <= tight
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            approximate_degree(and_n, 0)
+        with pytest.raises(ValueError):
+            approximate_degree(and_n, 3, epsilon=1.5)
+        with pytest.raises(ValueError):
+            polynomial_approximation_error(and_n, 3, -1)
+        with pytest.raises(ValueError):
+            polynomial_approximation_error(and_n, 20, 2)
+
+
+class TestSymmetricLp:
+    def test_matches_exact_lp_for_and(self):
+        for n in (2, 4, 6, 8):
+            profile = [0.0] * n + [1.0]
+            assert symmetric_approximate_degree(profile) == approximate_degree(and_n, n)
+
+    def test_matches_exact_lp_for_or(self):
+        for n in (2, 4, 6, 8):
+            profile = [0.0] + [1.0] * n
+            assert symmetric_approximate_degree(profile) == approximate_degree(or_n, n)
+
+    def test_or_sqrt_scaling(self):
+        """Lemma 4.6 ingredient: deg_{1/3}(OR_n) = Θ(sqrt(n)), measured."""
+        degrees = {n: symmetric_approximate_degree([0.0] + [1.0] * n) for n in (4, 16, 64)}
+        assert degrees[16] >= 1.4 * degrees[4] - 1
+        assert degrees[64] >= 1.4 * degrees[16] - 1
+        for n, degree in degrees.items():
+            assert 0.5 * math.sqrt(n) <= degree <= 2.5 * math.sqrt(n)
+
+    def test_majority_linear_degree(self):
+        n = 8
+        profile = [0.0 if w <= n // 2 else 1.0 for w in range(n + 1)]
+        assert symmetric_approximate_degree(profile) >= n // 3
+
+    def test_error_helper_monotone(self):
+        profile = [0.0] + [1.0] * 10
+        errors = [
+            symmetric_polynomial_approximation_error(profile, degree)
+            for degree in range(5)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            symmetric_approximate_degree([0, 1], epsilon=1.2)
+        with pytest.raises(ValueError):
+            symmetric_polynomial_approximation_error([0, 1], -2)
+
+
+class TestReadOnceComposition:
+    def test_and_of_ors_degree_sqrt_of_total(self):
+        """deg_{1/3}(AND_2 o OR_2) on 4 variables stays near sqrt(4) = 2."""
+        formula = compose_read_once("and", 2, lambda off: or_formula(2, off))
+        degree = approximate_degree(formula.evaluate, 4)
+        assert 1 <= degree <= 3
+
+    def test_or_of_ands_small(self):
+        formula = compose_read_once("or", 3, lambda off: or_formula(2, off))
+        degree = approximate_degree(formula.evaluate, 6)
+        assert 1 <= degree <= 4
+
+    def test_measured_degrees_dominate_certificate(self):
+        """The Lemma 4.6 envelope 0.25*sqrt(k) is below every measured degree."""
+        cases = [
+            (compose_read_once("and", 2, lambda off: or_formula(2, off)), 4),
+            (compose_read_once("and", 3, lambda off: or_formula(2, off)), 6),
+            (compose_read_once("or", 4, lambda off: or_formula(2, off)), 8),
+        ]
+        for formula, k in cases:
+            measured = approximate_degree(formula.evaluate, k)
+            assert measured >= approximate_degree_lower_bound_read_once(k)
+
+    def test_certificate_validation(self):
+        with pytest.raises(ValueError):
+            approximate_degree_lower_bound_read_once(0)

@@ -1,0 +1,186 @@
+"""Tests for the Boolean functions and read-once formulas of Section 4."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.lower_bounds import (
+    ReadOnceFormula,
+    and_formula,
+    diameter_hardness_function,
+    gdt_function,
+    or_formula,
+    radius_hardness_function,
+    ver_function,
+)
+from repro.lower_bounds.functions import compose_read_once, pair_index
+
+
+class TestVer:
+    def test_truth_table(self):
+        for x in range(4):
+            for y in range(4):
+                expected = 1 if (x + y) % 4 in (0, 1) else 0
+                assert ver_function(x, y) == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            ver_function(4, 0)
+        with pytest.raises(ValueError):
+            ver_function(0, -1)
+
+
+class TestGdt:
+    def test_intersection_semantics(self):
+        assert gdt_function([1, 0, 0, 0], [1, 0, 0, 0]) == 1
+        assert gdt_function([1, 0, 0, 0], [0, 1, 0, 0]) == 0
+        assert gdt_function([0, 0, 0, 0], [1, 1, 1, 1]) == 0
+        assert gdt_function([1, 1, 1, 1], [0, 0, 0, 1]) == 1
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            gdt_function([1, 0], [0, 1])
+
+    def test_ver_is_promise_restriction_of_gdt(self):
+        """VER(x, y) equals GDT on a promise encoding (Lemma 4.7's proof).
+
+        Alice encodes ``x`` as the indicator of the two cyclically adjacent
+        positions ``{-x, 1-x} (mod 4)`` (these are exactly the paper's promise
+        strings 0011/1001/1100/0110 up to rotation) and Bob encodes ``y`` as
+        the indicator of position ``y``; then the coordinates intersect iff
+        ``x + y ≡ 0 or 1 (mod 4)``, i.e. ``GDT = VER`` on the promise.
+        """
+
+        def x_code(x: int):
+            positions = {(-x) % 4, (1 - x) % 4}
+            return tuple(1 if i in positions else 0 for i in range(4))
+
+        def y_code(y: int):
+            return tuple(1 if i == y else 0 for i in range(4))
+
+        # The encodings really are the paper's promise sets.
+        assert {x_code(x) for x in range(4)} == {
+            (1, 1, 0, 0), (0, 1, 1, 0), (0, 0, 1, 1), (1, 0, 0, 1)
+        }
+        assert {y_code(y) for y in range(4)} == {
+            (1, 0, 0, 0), (0, 1, 0, 0), (0, 0, 1, 0), (0, 0, 0, 1)
+        }
+        for x in range(4):
+            for y in range(4):
+                assert gdt_function(x_code(x), y_code(y)) == ver_function(x, y)
+
+
+class TestHardnessFunctions:
+    def test_pair_index_layout(self):
+        assert pair_index(0, 0, 3) == 0
+        assert pair_index(2, 1, 3) == 7
+        with pytest.raises(ValueError):
+            pair_index(0, 3, 3)
+        with pytest.raises(ValueError):
+            pair_index(-1, 0, 3)
+
+    def test_diameter_function_requires_every_block(self):
+        num_blocks, ell = 3, 2
+        x = [1] * 6
+        y = [1] * 6
+        assert diameter_hardness_function(x, y, num_blocks, ell) == 1
+        # Kill both coordinates of block 1 on Bob's side.
+        y_bad = list(y)
+        y_bad[pair_index(1, 0, ell)] = 0
+        y_bad[pair_index(1, 1, ell)] = 0
+        assert diameter_hardness_function(x, y_bad, num_blocks, ell) == 0
+
+    def test_radius_function_is_intersection(self):
+        x = [0, 1, 0, 0]
+        y = [0, 0, 0, 1]
+        assert radius_hardness_function(x, y, 2, 2) == 0
+        y[1] = 1
+        assert radius_hardness_function(x, y, 2, 2) == 1
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            diameter_hardness_function([1], [1], 2, 2)
+        with pytest.raises(ValueError):
+            radius_hardness_function([1], [1], 2, 2)
+
+    def test_diameter_function_matches_formula_composition(self):
+        """F = AND_blocks(OR_ell(AND_2)) evaluated directly vs by definition."""
+        num_blocks, ell = 2, 2
+        for bits in itertools.product((0, 1), repeat=2 * num_blocks * ell):
+            x = bits[: num_blocks * ell]
+            y = bits[num_blocks * ell :]
+            direct = all(
+                any(
+                    x[pair_index(i, j, ell)] and y[pair_index(i, j, ell)]
+                    for j in range(ell)
+                )
+                for i in range(num_blocks)
+            )
+            assert diameter_hardness_function(x, y, num_blocks, ell) == int(direct)
+
+    def test_radius_implied_by_diameter(self):
+        """F(x, y) = 1 implies F'(x, y) = 1 (AND of ORs implies the big OR)."""
+        num_blocks, ell = 2, 2
+        for bits in itertools.product((0, 1), repeat=2 * num_blocks * ell):
+            x = bits[: num_blocks * ell]
+            y = bits[num_blocks * ell :]
+            if diameter_hardness_function(x, y, num_blocks, ell) == 1:
+                assert radius_hardness_function(x, y, num_blocks, ell) == 1
+
+
+class TestReadOnceFormula:
+    def test_and_or_leaves(self):
+        formula = and_formula(3)
+        assert formula.num_variables == 3
+        assert formula.evaluate([1, 1, 1]) == 1
+        assert formula.evaluate([1, 0, 1]) == 0
+        formula = or_formula(3)
+        assert formula.evaluate([0, 0, 0]) == 0
+        assert formula.evaluate([0, 1, 0]) == 1
+
+    def test_single_variable_formula(self):
+        leaf = and_formula(1, offset=5)
+        assert leaf.gate == "var"
+        assert leaf.variable == 5
+
+    def test_not_gate(self):
+        formula = ReadOnceFormula("not", children=[and_formula(1)])
+        assert formula.evaluate([0]) == 1
+        assert formula.evaluate([1]) == 0
+
+    def test_invalid_constructions(self):
+        with pytest.raises(ValueError):
+            ReadOnceFormula("xor")
+        with pytest.raises(ValueError):
+            ReadOnceFormula("var", variable=-1)
+        with pytest.raises(ValueError):
+            ReadOnceFormula("and", children=[])
+        with pytest.raises(ValueError):
+            ReadOnceFormula("not", children=[and_formula(1), and_formula(1, 1)])
+
+    def test_compose_read_once_disjoint_variables(self):
+        formula = compose_read_once("and", 3, lambda off: or_formula(2, off))
+        assert formula.num_variables == 6
+        assert formula.is_read_once()
+        assert formula.evaluate([1, 0, 0, 1, 1, 0]) == 1
+        assert formula.evaluate([1, 0, 0, 0, 1, 0]) == 0
+
+    def test_compose_matches_diameter_function_shape(self):
+        """AND_blocks o OR_ell composed formula agrees with F on z = x AND y."""
+        num_blocks, ell = 2, 2
+        formula = compose_read_once(
+            "and", num_blocks, lambda off: or_formula(ell, off)
+        )
+        for bits in itertools.product((0, 1), repeat=2 * num_blocks * ell):
+            x = bits[: num_blocks * ell]
+            y = bits[num_blocks * ell :]
+            z = [a & b for a, b in zip(x, y)]
+            assert formula.evaluate(z) == diameter_hardness_function(
+                x, y, num_blocks, ell
+            )
+
+    def test_invalid_outer_gate(self):
+        with pytest.raises(ValueError):
+            compose_read_once("nand", 2, lambda off: or_formula(2, off))

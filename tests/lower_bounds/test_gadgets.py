@@ -1,0 +1,247 @@
+"""Tests for the Figure 1 / 2 / 4 gadget constructions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import unweighted_diameter
+from repro.graphs.contraction import contract_unit_weight_edges
+from repro.graphs.properties import diameter as exact_diameter
+from repro.graphs.shortest_paths import dijkstra
+from repro.lower_bounds import (
+    GadgetParameters,
+    build_base_gadget,
+    build_diameter_gadget,
+    build_radius_gadget,
+)
+
+
+@pytest.fixture(scope="module")
+def small_params():
+    return GadgetParameters(height=2, num_blocks=4, ell=2, alpha=100, beta=200)
+
+
+def all_ones(params):
+    return (1,) * params.input_length
+
+
+def all_zeros(params):
+    return (0,) * params.input_length
+
+
+class TestParameters:
+    def test_basic_derived_quantities(self, small_params):
+        assert small_params.num_selector_pairs == 2
+        assert small_params.num_paths == 2 * 2 + 2
+        assert small_params.path_length == 4
+        assert small_params.input_length == 8
+
+    def test_expected_node_count_formula(self, small_params):
+        expected = (2**3 - 1) + 6 * (4 + 2) + 2 * 4
+        assert small_params.expected_num_nodes() == expected
+        assert small_params.expected_num_nodes(with_radius_hub=True) == expected + 1
+
+    def test_from_height_eq2(self):
+        params = GadgetParameters.from_height(2)
+        assert params.num_selector_pairs == 3
+        assert params.num_blocks == 8
+        assert params.ell == 2
+        n = params.expected_num_nodes()
+        assert params.alpha == n**2
+        assert params.beta == 2 * n**2
+
+    def test_from_height_requires_even(self):
+        with pytest.raises(ValueError):
+            GadgetParameters.from_height(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GadgetParameters(height=0, num_blocks=4, ell=2, alpha=1, beta=2)
+        with pytest.raises(ValueError):
+            GadgetParameters(height=2, num_blocks=1, ell=2, alpha=1, beta=2)
+        with pytest.raises(ValueError):
+            GadgetParameters(height=2, num_blocks=4, ell=0, alpha=1, beta=2)
+        with pytest.raises(ValueError):
+            GadgetParameters(height=2, num_blocks=4, ell=2, alpha=5, beta=5)
+
+
+class TestBaseGadget:
+    def test_node_counts(self):
+        base = build_base_gadget(height=3, num_paths=4)
+        tree_nodes = 2**4 - 1
+        path_nodes = 4 * 2**3
+        assert base.num_nodes == tree_nodes + path_nodes
+
+    def test_tree_structure(self):
+        base = build_base_gadget(height=2, num_paths=1)
+        # Each non-root tree node is adjacent to its parent.
+        for depth in range(1, 3):
+            for position in range(2**depth):
+                child = base.tree_nodes[(depth, position)]
+                parent = base.tree_nodes[(depth - 1, position // 2)]
+                assert base.graph.has_edge(child, parent)
+
+    def test_leaf_connected_to_every_path_column(self):
+        base = build_base_gadget(height=2, num_paths=3)
+        for path in range(3):
+            for position in range(4):
+                leaf = base.tree_nodes[(2, position)]
+                assert base.graph.has_edge(leaf, base.path_nodes[(path, position)])
+
+    def test_paths_are_paths(self):
+        base = build_base_gadget(height=2, num_paths=2)
+        for path in range(2):
+            for position in range(1, 4):
+                assert base.graph.has_edge(
+                    base.path_nodes[(path, position - 1)],
+                    base.path_nodes[(path, position)],
+                )
+
+    def test_unweighted_diameter_theta_h(self):
+        for height in (2, 3, 4):
+            base = build_base_gadget(height=height, num_paths=3)
+            measured = unweighted_diameter(base.graph)
+            assert measured <= 2 * height + 3
+            assert measured >= height
+
+    def test_custom_edge_weight_and_offset(self):
+        base = build_base_gadget(height=2, num_paths=1, tree_path_weight=7, next_node_id=100)
+        assert min(base.graph.nodes) == 100
+        leaf = base.tree_nodes[(2, 0)]
+        assert base.graph.weight(leaf, base.path_nodes[(0, 0)]) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_base_gadget(0, 3)
+        with pytest.raises(ValueError):
+            build_base_gadget(2, 0)
+
+
+class TestDiameterGadget:
+    def test_node_count_matches_formula(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        assert gadget.num_nodes == small_params.expected_num_nodes()
+
+    def test_partition_covers_all_nodes(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_zeros(small_params), small_params)
+        covered = set()
+        for part in gadget.node_sets.values():
+            covered.update(part)
+        assert covered == set(gadget.graph.nodes)
+
+    def test_no_edges_between_alice_and_bob(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        va, vb = set(gadget.node_sets["VA"]), set(gadget.node_sets["VB"])
+        for u, v, _ in gadget.graph.edges():
+            assert not (u in va and v in vb)
+            assert not (u in vb and v in va)
+
+    def test_input_dependent_weights(self, small_params):
+        x = [0] * small_params.input_length
+        x[0] = 1  # block 0, star 0
+        gadget = build_diameter_gadget(x, all_zeros(small_params), small_params)
+        assert gadget.graph.weight(gadget.block_a[0], gadget.star_a[0]) == small_params.alpha
+        assert gadget.graph.weight(gadget.block_a[0], gadget.star_a[1]) == small_params.beta
+        assert gadget.graph.weight(gadget.block_b[0], gadget.star_b[0]) == small_params.beta
+
+    def test_block_clique_present(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        blocks = gadget.block_a
+        for i, u in enumerate(blocks):
+            for v in blocks[i + 1 :]:
+                assert gadget.graph.weight(u, v) == small_params.alpha
+
+    def test_selector_wiring_follows_binary_expansion(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        for i in range(small_params.num_blocks):
+            for j in range(small_params.num_selector_pairs):
+                bit = (i >> j) & 1
+                assert gadget.graph.has_edge(gadget.block_a[i], gadget.selector_a[(j, bit)])
+                assert not gadget.graph.has_edge(
+                    gadget.block_a[i], gadget.selector_a[(j, bit ^ 1)]
+                )
+
+    def test_unweighted_diameter_logarithmic(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        assert unweighted_diameter(gadget.graph) <= 2 * small_params.height + 6
+
+    def test_function_value(self, small_params):
+        ones = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        zeros = build_diameter_gadget(all_zeros(small_params), all_zeros(small_params), small_params)
+        assert ones.function_value() == 1
+        assert zeros.function_value() == 0
+
+    def test_input_length_validation(self, small_params):
+        with pytest.raises(ValueError):
+            build_diameter_gadget([1, 0], [0, 1], small_params)
+
+    def test_connected(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_zeros(small_params), small_params)
+        assert gadget.graph.is_connected()
+
+
+class TestContractionView:
+    """Figure 3: contracting weight-1 edges collapses tree and paths."""
+
+    def test_contracted_node_count(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        contracted = contract_unit_weight_edges(gadget.graph)
+        # Remaining super-nodes: t, the m merged path nodes, the 2 * num_blocks
+        # block nodes (a_i and b_i).
+        expected = 1 + small_params.num_paths + 2 * small_params.num_blocks
+        assert contracted.graph.num_nodes == expected
+
+    def test_tree_collapses_to_single_node(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        contracted = contract_unit_weight_edges(gadget.graph)
+        tree_nodes = list(gadget.base.tree_nodes.values())
+        representatives = {contracted.super_node_of(node) for node in tree_nodes}
+        assert len(representatives) == 1
+
+    def test_path_merges_with_its_va_vb_endpoints(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        contracted = contract_unit_weight_edges(gadget.graph)
+        # Path 0 (paper's path 1) carries a_1^0 on the left and b_1^1 on the right.
+        path_rep = contracted.super_node_of(gadget.base.path_nodes[(0, 0)])
+        assert contracted.super_node_of(gadget.selector_a[(0, 0)]) == path_rep
+        assert contracted.super_node_of(gadget.selector_b[(0, 1)]) == path_rep
+
+    def test_block_nodes_stay_separate(self, small_params):
+        gadget = build_diameter_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        contracted = contract_unit_weight_edges(gadget.graph)
+        representatives = {contracted.super_node_of(a) for a in gadget.block_a}
+        assert len(representatives) == small_params.num_blocks
+
+
+class TestRadiusGadget:
+    def test_hub_added_with_2alpha_edges(self, small_params):
+        gadget = build_radius_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        assert gadget.num_nodes == small_params.expected_num_nodes(with_radius_hub=True)
+        for block in gadget.block_a:
+            assert gadget.graph.weight(gadget.hub, block) == 2 * small_params.alpha
+
+    def test_hub_in_alice_partition(self, small_params):
+        gadget = build_radius_gadget(all_ones(small_params), all_zeros(small_params), small_params)
+        assert gadget.hub in gadget.node_sets["VA"]
+
+    def test_function_value_is_f_prime(self, small_params):
+        x = [0] * small_params.input_length
+        y = [0] * small_params.input_length
+        x[3] = 1
+        y[3] = 1
+        gadget = build_radius_gadget(x, y, small_params)
+        assert gadget.function_value() == 1
+        gadget = build_radius_gadget(x, [0] * small_params.input_length, small_params)
+        assert gadget.function_value() == 0
+
+    def test_hub_far_from_bob_side(self, small_params):
+        """The hub's distance to any b_i is at least 3 alpha after contraction."""
+        gadget = build_radius_gadget(all_ones(small_params), all_ones(small_params), small_params)
+        contracted = contract_unit_weight_edges(gadget.graph)
+        hub_rep = contracted.super_node_of(gadget.hub)
+        distances = dijkstra(contracted.graph, hub_rep)
+        for block in gadget.block_b:
+            rep = contracted.super_node_of(block)
+            assert distances[rep] >= 3 * small_params.alpha

@@ -1,0 +1,142 @@
+"""Tests for the Lemma 4.4 / 4.9 gap verification and Theorem 4.2 / 4.8 assembly."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs.contraction import contract_unit_weight_edges
+from repro.graphs.properties import diameter as exact_diameter
+from repro.graphs.properties import radius as exact_radius
+from repro.lower_bounds import (
+    GadgetParameters,
+    build_diameter_gadget,
+    build_radius_gadget,
+    diameter_round_lower_bound,
+    radius_round_lower_bound,
+    verify_diameter_gap,
+    verify_radius_gap,
+)
+from repro.lower_bounds.reduction import enumerate_inputs, sample_inputs
+
+
+@pytest.fixture(scope="module")
+def params():
+    # alpha ~ n^2 and beta = 2 alpha, as in the theorem proofs, so the
+    # 3/2-gap is genuinely present.
+    provisional = GadgetParameters(height=2, num_blocks=2, ell=2, alpha=10, beta=20)
+    n = provisional.expected_num_nodes()
+    return GadgetParameters(height=2, num_blocks=2, ell=2, alpha=n * n, beta=2 * n * n)
+
+
+class TestInputHelpers:
+    def test_enumerate_inputs(self):
+        assert len(enumerate_inputs(3)) == 8
+        assert (0, 0, 0) in enumerate_inputs(3)
+
+    def test_sample_inputs_deterministic(self):
+        assert sample_inputs(5, 4, seed=1) == sample_inputs(5, 4, seed=1)
+        assert len(sample_inputs(5, 4, seed=1)) == 4
+
+
+class TestDiameterGap:
+    def test_sampled_inputs_hold(self, params):
+        records = verify_diameter_gap(params, num_samples=8, seed=3)
+        assert records
+        assert all(record.holds for record in records)
+
+    def test_both_function_values_covered(self, params):
+        records = verify_diameter_gap(params, num_samples=8, seed=3)
+        values = {record.function_value for record in records}
+        assert values == {0, 1}
+
+    def test_explicit_instances(self, params):
+        ones = (1,) * params.input_length
+        zeros = (0,) * params.input_length
+        records = verify_diameter_gap(params, input_pairs=[(ones, ones), (zeros, zeros)])
+        yes, no = records
+        assert yes.function_value == 1 and yes.holds
+        assert no.function_value == 0 and no.holds
+
+    def test_gap_is_three_halves(self, params):
+        """With alpha = n^2 and beta = 2n^2 the no-instances are >= 1.5x the yes bound."""
+        ones = (1,) * params.input_length
+        zeros = (0,) * params.input_length
+        records = verify_diameter_gap(params, input_pairs=[(ones, ones), (zeros, zeros)])
+        yes, no = records
+        gadget = build_diameter_gadget(ones, ones, params)
+        n = gadget.num_nodes
+        # With alpha = n^2 the additive +n of Lemma 4.3 erodes the factor by
+        # O(1/n); the gap is 3n/(2n + 1), i.e. 3/2 - o(1).
+        assert no.measured / (yes.measured + n) >= 1.5 - 2 / n
+
+    def test_full_graph_diameter_consistent_with_contracted(self, params):
+        """Lemma 4.3 applied to the actual gadget (not just random graphs)."""
+        ones = (1,) * params.input_length
+        gadget = build_diameter_gadget(ones, ones, params)
+        contracted = contract_unit_weight_edges(gadget.graph).graph
+        full = exact_diameter(gadget.graph)
+        reduced = exact_diameter(contracted)
+        assert reduced <= full <= reduced + gadget.num_nodes
+
+
+class TestRadiusGap:
+    def test_sampled_inputs_hold(self, params):
+        records = verify_radius_gap(params, num_samples=8, seed=5)
+        assert records
+        assert all(record.holds for record in records)
+
+    def test_single_intersection_suffices(self, params):
+        """F' = 1 needs just one common coordinate -- unlike F."""
+        x = [0] * params.input_length
+        y = [0] * params.input_length
+        x[2] = y[2] = 1
+        records = verify_radius_gap(params, input_pairs=[(tuple(x), tuple(y))])
+        assert records[0].function_value == 1
+        assert records[0].holds
+
+    def test_full_graph_radius_consistent_with_contracted(self, params):
+        zeros = (0,) * params.input_length
+        gadget = build_radius_gadget(zeros, zeros, params)
+        contracted = contract_unit_weight_edges(gadget.graph).graph
+        full = exact_radius(gadget.graph)
+        reduced = exact_radius(contracted)
+        assert reduced <= full <= reduced + gadget.num_nodes
+
+
+class TestRoundLowerBound:
+    def test_certificate_fields(self):
+        cert = diameter_round_lower_bound(4)
+        assert cert.problem == "diameter"
+        assert cert.height == 4
+        assert cert.num_nodes == GadgetParameters.from_height(4).expected_num_nodes()
+        assert cert.round_lower_bound > 0
+        assert cert.communication_lower_bound > 0
+
+    def test_radius_variant_counts_hub(self):
+        cert = radius_round_lower_bound(4)
+        assert cert.problem == "radius"
+        assert cert.num_nodes == GadgetParameters.from_height(4).expected_num_nodes() + 1
+
+    def test_bound_grows_like_n_to_two_thirds(self):
+        """Doubling h multiplies n by ~2^{3/2} per step and the bound by ~2^h / h."""
+        certs = [diameter_round_lower_bound(h) for h in (4, 6, 8, 10)]
+        for small, large in zip(certs, certs[1:]):
+            ratio = large.round_lower_bound / small.round_lower_bound
+            n_ratio = (large.num_nodes / small.num_nodes) ** (2 / 3)
+            # Within polylog slack of the n^{2/3} scaling.
+            assert 0.3 * n_ratio <= ratio <= 3 * n_ratio
+
+    def test_unweighted_diameter_stays_logarithmic(self):
+        cert = diameter_round_lower_bound(8)
+        assert cert.unweighted_diameter_bound <= 4 * math.log2(cert.num_nodes)
+
+    def test_communication_bound_scales_with_sqrt_input_length(self):
+        small = diameter_round_lower_bound(4)
+        large = diameter_round_lower_bound(8)
+        expected_ratio = math.sqrt(large.input_length / small.input_length)
+        measured_ratio = (
+            large.communication_lower_bound / small.communication_lower_bound
+        )
+        assert measured_ratio == pytest.approx(expected_ratio)

@@ -1,0 +1,77 @@
+"""Tests for Algorithm 2 (Bounded-Distance SSSP)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.congest import Network
+from repro.graphs import dijkstra, path_graph, random_weighted_graph
+from repro.nanongkai import bounded_distance_sssp_protocol
+
+INF = math.inf
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("bound", [3, 8, 20, 100])
+    def test_distances_within_bound(self, random_network, bound):
+        distances, _ = bounded_distance_sssp_protocol(random_network, 0, bound)
+        exact = dijkstra(random_network.graph, 0)
+        for node in random_network.nodes:
+            if exact[node] <= bound:
+                assert distances[node] == exact[node]
+            else:
+                assert distances[node] == INF
+
+    def test_source_zero(self, random_network):
+        distances, _ = bounded_distance_sssp_protocol(random_network, 3, 10)
+        assert distances[3] == 0
+
+    def test_unknown_source_raises(self, random_network):
+        with pytest.raises(KeyError):
+            bounded_distance_sssp_protocol(random_network, 444, 5)
+
+    def test_negative_bound_rejected(self, random_network):
+        with pytest.raises(ValueError):
+            bounded_distance_sssp_protocol(random_network, 0, -1)
+
+    def test_zero_bound_only_source(self, random_network):
+        distances, _ = bounded_distance_sssp_protocol(random_network, 0, 0)
+        assert distances[0] == 0
+        assert all(distances[v] == INF for v in random_network.nodes if v != 0)
+
+    def test_override_weights(self, path_network):
+        # Overriding every weight to 1 turns the run into a plain hop-bounded BFS.
+        weights = {
+            node: {neighbor: 1 for neighbor in path_network.neighbors(node)}
+            for node in path_network.nodes
+        }
+        distances, _ = bounded_distance_sssp_protocol(
+            path_network, 0, 3, weights=weights
+        )
+        for node in path_network.nodes:
+            expected = node if node <= 3 else INF
+            assert distances[node] == expected
+
+
+class TestRoundCost:
+    def test_rounds_linear_in_bound(self, random_network):
+        _, small = bounded_distance_sssp_protocol(random_network, 0, 5)
+        _, large = bounded_distance_sssp_protocol(random_network, 0, 50)
+        assert small.rounds == 5 + 1
+        assert large.rounds == 50 + 1
+
+    def test_each_node_broadcasts_at_most_once(self, random_network):
+        _, report = bounded_distance_sssp_protocol(random_network, 0, 10**6)
+        num_edges = random_network.graph.num_edges
+        assert report.total_messages <= 2 * num_edges
+
+    def test_messages_fit_in_constant_number_of_words(self):
+        graph = path_graph(10, max_weight=5, seed=2)
+        network = Network(graph)
+        _, report = bounded_distance_sssp_protocol(network, 0, 30)
+        # Each message carries a protocol tag plus one distance value, i.e.
+        # O(1) words of O(log n) bits: the congestion-adjusted count may pick
+        # up a small constant factor but never more.
+        assert report.congested_rounds <= 3 * report.rounds

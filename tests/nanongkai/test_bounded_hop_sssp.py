@@ -1,0 +1,91 @@
+"""Tests for Algorithm 1 (Bounded-Hop SSSP via weight rounding)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.congest import Network
+from repro.graphs import bounded_hop_distances, dijkstra, random_weighted_graph
+from repro.graphs.rounding import approx_bounded_hop_distances_from
+from repro.nanongkai import bounded_hop_sssp_protocol
+from repro.nanongkai.bounded_hop_sssp import level_distance_bound, rounded_incident_weights
+
+INF = math.inf
+
+
+class TestLevelHelpers:
+    def test_level_distance_bound(self):
+        assert level_distance_bound(10, 0.5) == 50
+        assert level_distance_bound(4, 1.0) == 12
+
+    def test_level_distance_bound_validation(self):
+        with pytest.raises(ValueError):
+            level_distance_bound(0, 0.5)
+        with pytest.raises(ValueError):
+            level_distance_bound(5, 0)
+
+    def test_rounded_incident_weights_match_definition(self, random_network):
+        hop_bound, epsilon, level = 6, 0.5, 2
+        table = rounded_incident_weights(random_network, hop_bound, epsilon, level)
+        for node in random_network.nodes:
+            for neighbor, weight in random_network.incident_weights(node).items():
+                expected = max(
+                    1, math.ceil(2 * hop_bound * weight / (epsilon * 2**level))
+                )
+                assert table[node][neighbor] == expected
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0])
+    def test_matches_sequential_reference(self, random_network, epsilon):
+        hop_bound = 6
+        distances, _ = bounded_hop_sssp_protocol(random_network, 0, hop_bound, epsilon)
+        reference = approx_bounded_hop_distances_from(
+            random_network.graph, 0, hop_bound, epsilon
+        )
+        for node in random_network.nodes:
+            if reference[node] is INF:
+                assert distances[node] == INF
+            else:
+                assert abs(distances[node] - reference[node]) < 1e-9
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lemma_3_2_sandwich(self, seed):
+        graph = random_weighted_graph(num_nodes=18, max_weight=15, seed=seed)
+        network = Network(graph)
+        hop_bound, epsilon = 5, 0.5
+        distances, _ = bounded_hop_sssp_protocol(network, 0, hop_bound, epsilon)
+        exact = dijkstra(graph, 0)
+        hop_limited = bounded_hop_distances(graph, 0, hop_bound)
+        for node in graph.nodes:
+            if hop_limited[node] is INF:
+                continue
+            assert distances[node] >= exact[node] - 1e-9
+            assert distances[node] <= (1 + epsilon) * hop_limited[node] + 1e-9
+
+    def test_source_distance_zero(self, random_network):
+        distances, _ = bounded_hop_sssp_protocol(random_network, 5, 4, 0.5)
+        assert distances[5] == 0
+
+    def test_explicit_level_count(self, random_network):
+        distances, report = bounded_hop_sssp_protocol(
+            random_network, 0, 4, 0.5, levels=3
+        )
+        assert report.rounds > 0
+        exact = dijkstra(random_network.graph, 0)
+        assert all(distances[v] >= exact[v] - 1e-9 for v in random_network.nodes)
+
+
+class TestRoundCost:
+    def test_rounds_scale_with_hop_bound_over_epsilon(self, random_network):
+        _, loose = bounded_hop_sssp_protocol(random_network, 0, 3, 1.0, levels=4)
+        _, tight = bounded_hop_sssp_protocol(random_network, 0, 12, 0.25, levels=4)
+        # (1 + 2/eps) * l grows from 9 to 108: the measured rounds must follow.
+        assert tight.rounds > 5 * loose.rounds
+
+    def test_rounds_scale_linearly_in_levels(self, random_network):
+        _, few = bounded_hop_sssp_protocol(random_network, 0, 4, 0.5, levels=2)
+        _, many = bounded_hop_sssp_protocol(random_network, 0, 4, 0.5, levels=8)
+        assert 3 * few.rounds <= many.rounds <= 5 * few.rounds

@@ -1,0 +1,176 @@
+"""Tests for Algorithms 4 and 5 (overlay embedding and overlay SSSP)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.congest import Network
+from repro.graphs import dijkstra, random_weighted_graph
+from repro.nanongkai import (
+    OverlayGraph,
+    embed_overlay_network,
+    multi_source_bounded_hop_protocol,
+    overlay_sssp_protocol,
+)
+from repro.nanongkai.overlay import build_shortcut_graph, build_skeleton_graph
+
+INF = math.inf
+
+
+@pytest.fixture
+def overlay_setup(random_network):
+    """A skeleton, its Algorithm-3 tables and an embedded overlay."""
+    skeleton = [0, 4, 9, 13, 17]
+    hop_bound, epsilon = 8, 0.5
+    dtilde, _ = multi_source_bounded_hop_protocol(
+        random_network, skeleton, hop_bound, epsilon, seed=5
+    )
+    embedding = embed_overlay_network(random_network, skeleton, dtilde, k=2)
+    return random_network, skeleton, dtilde, embedding, epsilon
+
+
+class TestOverlayGraph:
+    def test_weights_and_edges(self):
+        overlay = OverlayGraph([1, 2, 3])
+        overlay.set_weight(1, 2, 4.5)
+        overlay.set_weight(2, 3, 1.0)
+        assert overlay.weight(1, 2) == 4.5
+        assert overlay.weight(2, 1) == 4.5
+        assert overlay.weight(1, 3) == INF
+        assert len(overlay.edges()) == 2
+
+    def test_self_loop_and_bad_weight_rejected(self):
+        overlay = OverlayGraph([1, 2])
+        with pytest.raises(ValueError):
+            overlay.set_weight(1, 1, 2.0)
+        with pytest.raises(ValueError):
+            overlay.set_weight(1, 2, 0)
+
+    def test_dijkstra_on_overlay(self):
+        overlay = OverlayGraph([0, 1, 2])
+        overlay.set_weight(0, 1, 1.0)
+        overlay.set_weight(1, 2, 2.0)
+        overlay.set_weight(0, 2, 10.0)
+        distances = overlay.dijkstra(0)
+        assert distances == {0: 0.0, 1: 1.0, 2: 3.0}
+
+    def test_bounded_hop_distances(self):
+        overlay = OverlayGraph([0, 1, 2])
+        overlay.set_weight(0, 1, 1.0)
+        overlay.set_weight(1, 2, 2.0)
+        overlay.set_weight(0, 2, 10.0)
+        one_hop = overlay.bounded_hop_distances(0, 1)
+        assert one_hop[2] == 10.0
+        two_hops = overlay.bounded_hop_distances(0, 2)
+        assert two_hops[2] == 3.0
+
+    def test_k_nearest(self):
+        overlay = OverlayGraph([0, 1, 2, 3])
+        overlay.set_weight(0, 1, 1.0)
+        overlay.set_weight(0, 2, 5.0)
+        overlay.set_weight(0, 3, 2.0)
+        overlay.set_weight(1, 3, 0.5)
+        assert overlay.k_nearest(0, 2) == [1, 3]
+
+
+class TestSkeletonGraph:
+    def test_weights_are_dtilde_values(self, overlay_setup):
+        network, skeleton, dtilde, embedding, _ = overlay_setup
+        skeleton_graph = build_skeleton_graph(skeleton, dtilde)
+        for i, u in enumerate(skeleton):
+            for v in skeleton[i + 1 :]:
+                if dtilde[v][u] is not INF:
+                    assert skeleton_graph.weight(u, v) == dtilde[v][u]
+
+    def test_skeleton_weights_upper_bound_true_distance(self, overlay_setup):
+        network, skeleton, dtilde, embedding, _ = overlay_setup
+        for u in skeleton:
+            exact = dijkstra(network.graph, u)
+            for v in skeleton:
+                if u == v:
+                    continue
+                weight = embedding.skeleton_graph.weight(u, v)
+                if weight is not INF:
+                    assert weight >= exact[v] - 1e-9
+
+
+class TestShortcutGraph:
+    def test_shortcut_edges_never_longer_than_skeleton_edges(self, overlay_setup):
+        _, skeleton, _, embedding, _ = overlay_setup
+        for i, u in enumerate(skeleton):
+            for v in skeleton[i + 1 :]:
+                original = embedding.skeleton_graph.weight(u, v)
+                shortcut = embedding.shortcut_graph.weight(u, v)
+                if original is not INF and shortcut is not INF:
+                    assert shortcut <= original + 1e-9
+
+    def test_shortcut_preserves_shortest_path_metric(self, overlay_setup):
+        _, skeleton, _, embedding, _ = overlay_setup
+        for source in skeleton:
+            original = embedding.skeleton_graph.dijkstra(source)
+            shortcut = embedding.shortcut_graph.dijkstra(source)
+            for target in skeleton:
+                if original[target] is INF:
+                    continue
+                assert abs(original[target] - shortcut[target]) < 1e-9
+
+    def test_nearest_sets_have_size_k(self, overlay_setup):
+        _, skeleton, _, embedding, _ = overlay_setup
+        for node, nearest in embedding.nearest.items():
+            assert len(nearest) == min(2, len(skeleton) - 1)
+
+    def test_build_shortcut_graph_direct(self):
+        skeleton_graph = OverlayGraph([0, 1, 2, 3])
+        skeleton_graph.set_weight(0, 1, 1.0)
+        skeleton_graph.set_weight(1, 2, 1.0)
+        skeleton_graph.set_weight(2, 3, 1.0)
+        skeleton_graph.set_weight(0, 3, 10.0)
+        shortcut, nearest = build_shortcut_graph(skeleton_graph, k=3)
+        # 3 is within the 3 nearest of 0 via the path, so the heavy direct
+        # edge is replaced by the true distance 3.
+        assert shortcut.weight(0, 3) == 3.0
+
+
+class TestEmbedding:
+    def test_embedding_reports_rounds(self, overlay_setup):
+        _, _, _, embedding, _ = overlay_setup
+        assert embedding.report.congested_rounds > 0
+
+    def test_hop_bound_formula(self, overlay_setup):
+        _, skeleton, _, embedding, _ = overlay_setup
+        assert embedding.hop_bound == math.ceil(4 * len(skeleton) / embedding.k)
+
+    def test_invalid_k_rejected(self, overlay_setup):
+        network, skeleton, dtilde, _, _ = overlay_setup
+        with pytest.raises(ValueError):
+            embed_overlay_network(network, skeleton, dtilde, k=0)
+
+
+class TestOverlaySssp:
+    def test_distances_match_overlay_bounded_hop(self, overlay_setup):
+        network, skeleton, _, embedding, epsilon = overlay_setup
+        source = skeleton[0]
+        distances, report = overlay_sssp_protocol(network, embedding, source, epsilon)
+        exact_overlay = embedding.shortcut_graph.dijkstra(source)
+        hop_limited = embedding.shortcut_graph.bounded_hop_distances(
+            source, embedding.hop_bound
+        )
+        for node in skeleton:
+            if hop_limited[node] is INF:
+                continue
+            assert distances[node] >= exact_overlay[node] - 1e-9
+            assert distances[node] <= (1 + epsilon) * hop_limited[node] + 1e-9
+        assert report.congested_rounds > 0
+
+    def test_source_zero(self, overlay_setup):
+        network, skeleton, _, embedding, epsilon = overlay_setup
+        distances, _ = overlay_sssp_protocol(network, embedding, skeleton[1], epsilon)
+        assert distances[skeleton[1]] == 0
+
+    def test_non_skeleton_source_rejected(self, overlay_setup):
+        network, skeleton, _, embedding, epsilon = overlay_setup
+        bad_source = next(n for n in network.nodes if n not in skeleton)
+        with pytest.raises(KeyError):
+            overlay_sssp_protocol(network, embedding, bad_source, epsilon)

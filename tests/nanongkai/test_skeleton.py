@@ -1,0 +1,137 @@
+"""Tests for skeleton sampling and the Lemma 3.3 approximate distances."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.congest import Network
+from repro.graphs import dijkstra, eccentricity, random_weighted_graph
+from repro.nanongkai import SkeletonApproximator, sample_skeleton_sets
+from repro.nanongkai.skeleton import approximate_distance_via_skeleton
+
+INF = math.inf
+
+
+class TestSampling:
+    def test_number_of_sets(self):
+        sets = sample_skeleton_sets(list(range(30)), expected_size=5, num_sets=12, seed=1)
+        assert len(sets) == 12
+
+    def test_sets_are_sorted_node_subsets(self):
+        nodes = list(range(40))
+        sets = sample_skeleton_sets(nodes, expected_size=6, num_sets=10, seed=2)
+        for members in sets:
+            assert members == sorted(members)
+            assert set(members) <= set(nodes)
+
+    def test_expected_size_roughly_respected(self):
+        nodes = list(range(200))
+        sets = sample_skeleton_sets(nodes, expected_size=20, num_sets=50, seed=3)
+        average = sum(len(s) for s in sets) / len(sets)
+        assert 12 < average < 30
+
+    def test_nonempty_guarantee(self):
+        sets = sample_skeleton_sets(list(range(5)), expected_size=0.01, num_sets=30, seed=4)
+        assert all(len(members) >= 1 for members in sets)
+
+    def test_deterministic(self):
+        a = sample_skeleton_sets(list(range(25)), 4, 6, seed=9)
+        b = sample_skeleton_sets(list(range(25)), 4, 6, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_skeleton_sets([1, 2], 3, 0)
+        with pytest.raises(ValueError):
+            sample_skeleton_sets([1, 2], 0, 3)
+
+
+class TestCombineHelper:
+    def test_minimum_over_skeleton(self):
+        overlay = {0: 1.0, 1: 5.0}
+        local = {0: 10.0, 1: 2.0}
+        assert approximate_distance_via_skeleton(overlay, local, [0, 1]) == 7.0
+
+    def test_missing_entries_treated_as_inf(self):
+        assert approximate_distance_via_skeleton({}, {}, [0, 1]) == INF
+
+
+@pytest.fixture(scope="module")
+def approximator():
+    graph = random_weighted_graph(num_nodes=22, max_weight=12, seed=13)
+    network = Network(graph)
+    skeleton = [0, 3, 8, 12, 16, 20]
+    return (
+        network,
+        SkeletonApproximator(
+            network, skeleton, epsilon=0.5, hop_bound=30, k=3, seed=7
+        ),
+    )
+
+
+class TestSkeletonApproximator:
+    def test_skeleton_preserved(self, approximator):
+        _, approx = approximator
+        assert approx.skeleton == [0, 3, 8, 12, 16, 20]
+
+    def test_empty_skeleton_rejected(self, approximator):
+        network, _ = approximator
+        with pytest.raises(ValueError):
+            SkeletonApproximator(network, [], epsilon=0.5, hop_bound=5, k=2)
+
+    def test_approx_distance_sandwich(self, approximator):
+        """Lemma 3.3: d <= d~ <= (1 + eps)^2 d, w.h.p., for skeleton sources."""
+        network, approx = approximator
+        epsilon = 0.5
+        for source in approx.skeleton[:3]:
+            exact = dijkstra(network.graph, source)
+            distances = approx.approx_distances_from(source)
+            for node in network.nodes:
+                assert distances[node] >= exact[node] - 1e-9
+                assert distances[node] <= (1 + epsilon) ** 2 * exact[node] + 1e-9
+
+    def test_approx_eccentricity_sandwich(self, approximator):
+        network, approx = approximator
+        epsilon = 0.5
+        for source in approx.skeleton[:3]:
+            true_ecc = eccentricity(network.graph, source)
+            estimate = approx.approx_eccentricity(source)
+            assert true_ecc - 1e-9 <= estimate <= (1 + epsilon) ** 2 * true_ecc + 1e-9
+
+    def test_approx_distance_single_pair(self, approximator):
+        network, approx = approximator
+        source = approx.skeleton[0]
+        table = approx.approx_distances_from(source)
+        assert approx.approx_distance(source, 5) == table[5]
+
+    def test_non_skeleton_source_rejected(self, approximator):
+        _, approx = approximator
+        with pytest.raises(KeyError):
+            approx.setup(1)  # node 1 is not in the skeleton
+
+    def test_initialization_report_positive(self, approximator):
+        _, approx = approximator
+        assert approx.initialization_report.congested_rounds > 0
+
+    def test_setup_report_cached(self, approximator):
+        _, approx = approximator
+        first = approx.setup_report()
+        second = approx.setup_report()
+        assert first is second
+
+    def test_evaluation_report_is_cheap(self, approximator):
+        _, approx = approximator
+        evaluation = approx.evaluation_report()
+        assert evaluation.congested_rounds > 0
+        assert evaluation.congested_rounds < approx.initialization_report.congested_rounds
+
+    def test_cost_ordering_matches_lemma_3_5(self, approximator):
+        """T0 (Algorithms 3+4) dominates a single Setup, which dominates Evaluation."""
+        _, approx = approximator
+        t0 = approx.initialization_report.congested_rounds
+        t1 = approx.setup_report().congested_rounds
+        t2 = approx.evaluation_report().congested_rounds
+        assert t0 > t2
+        assert t1 > t2

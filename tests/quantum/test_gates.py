@@ -1,0 +1,86 @@
+"""Tests for the gate matrices."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    HADAMARD,
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    controlled,
+    phase_gate,
+    rotation_y,
+)
+from repro.quantum.gates import (
+    S_GATE,
+    T_GATE,
+    is_unitary,
+    rotation_x,
+    rotation_z,
+)
+
+
+class TestUnitarity:
+    @pytest.mark.parametrize(
+        "gate",
+        [IDENTITY, PAULI_X, PAULI_Y, PAULI_Z, HADAMARD, S_GATE, T_GATE],
+    )
+    def test_fixed_gates_unitary(self, gate):
+        assert is_unitary(gate)
+
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, 2.7])
+    def test_parameterised_gates_unitary(self, theta):
+        assert is_unitary(phase_gate(theta))
+        assert is_unitary(rotation_x(theta))
+        assert is_unitary(rotation_y(theta))
+        assert is_unitary(rotation_z(theta))
+
+    def test_controlled_gates_unitary(self):
+        assert is_unitary(controlled(PAULI_X))
+        assert is_unitary(controlled(HADAMARD))
+
+    def test_non_unitary_detected(self):
+        assert not is_unitary(np.array([[1, 0], [0, 2]], dtype=complex))
+        assert not is_unitary(np.ones((2, 3)))
+
+
+class TestAlgebra:
+    def test_pauli_squares_are_identity(self):
+        for gate in (PAULI_X, PAULI_Y, PAULI_Z):
+            assert np.allclose(gate @ gate, IDENTITY)
+
+    def test_hadamard_involution(self):
+        assert np.allclose(HADAMARD @ HADAMARD, IDENTITY)
+
+    def test_hxh_equals_z(self):
+        assert np.allclose(HADAMARD @ PAULI_X @ HADAMARD, PAULI_Z)
+
+    def test_s_squared_is_z(self):
+        assert np.allclose(S_GATE @ S_GATE, PAULI_Z)
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(T_GATE @ T_GATE, S_GATE)
+
+    def test_phase_gate_pi_is_z(self):
+        assert np.allclose(phase_gate(math.pi), PAULI_Z)
+
+    def test_rotation_y_pi_maps_zero_to_one(self):
+        state = rotation_y(math.pi) @ np.array([1, 0], dtype=complex)
+        assert abs(abs(state[1]) - 1) < 1e-10
+
+    def test_controlled_x_is_cnot(self):
+        cnot = controlled(PAULI_X)
+        # |10> -> |11>, |11> -> |10>, |00>/|01> unchanged.
+        assert np.allclose(cnot @ np.eye(4)[2], np.eye(4)[3])
+        assert np.allclose(cnot @ np.eye(4)[3], np.eye(4)[2])
+        assert np.allclose(cnot @ np.eye(4)[0], np.eye(4)[0])
+
+    def test_controlled_requires_2x2(self):
+        with pytest.raises(ValueError):
+            controlled(np.eye(4))

@@ -1,0 +1,127 @@
+"""Tests for Grover search / amplitude amplification."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import (
+    amplitude_amplification_success_probability,
+    exhaustive_oracle,
+    grover_iterations,
+    grover_search,
+)
+from repro.quantum.grover import grover_search_unknown
+
+
+class TestIterationCount:
+    def test_single_marked_in_four(self):
+        assert grover_iterations(4, 1) == 1
+
+    def test_single_marked_large_domain(self):
+        iterations = grover_iterations(1024, 1)
+        assert abs(iterations - math.floor(math.pi / 4 * math.sqrt(1024))) <= 1
+
+    def test_all_marked_needs_no_iterations(self):
+        assert grover_iterations(8, 8) == 0
+
+    def test_scaling_with_sqrt_ratio(self):
+        assert grover_iterations(256, 1) > grover_iterations(256, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grover_iterations(0, 1)
+        with pytest.raises(ValueError):
+            grover_iterations(8, 0)
+
+
+class TestSuccessProbabilityFormula:
+    def test_quarter_marked_one_iteration_is_certain(self):
+        assert amplitude_amplification_success_probability(4, 1, 1) == pytest.approx(1.0)
+
+    def test_no_marked(self):
+        assert amplitude_amplification_success_probability(8, 0, 3) == 0.0
+
+    def test_all_marked(self):
+        assert amplitude_amplification_success_probability(8, 8, 0) == 1.0
+
+    def test_matches_simulation(self):
+        domain, marked = 64, 3
+        iterations = grover_iterations(domain, marked)
+        predicted = amplitude_amplification_success_probability(
+            domain, marked, iterations
+        )
+        result = grover_search(domain, lambda x: x < marked, num_marked=marked)
+        assert result.success_probability == pytest.approx(predicted, abs=1e-9)
+
+
+class TestGroverSearch:
+    def test_finds_unique_marked_element(self):
+        result = grover_search(16, lambda x: x == 11)
+        assert result.is_marked
+        assert result.outcome == 11
+        assert result.oracle_queries == grover_iterations(16, 1)
+
+    def test_high_success_probability_single_marked(self):
+        result = grover_search(64, lambda x: x == 20)
+        assert result.success_probability > 0.9
+
+    def test_non_power_of_two_domain(self):
+        result = grover_search(10, lambda x: x == 7)
+        assert result.success_probability > 0.8
+        assert result.outcome < 16
+
+    def test_no_marked_element(self):
+        result = grover_search(32, lambda x: False)
+        assert not result.is_marked
+        assert result.oracle_queries == 0
+        assert result.success_probability == 0.0
+
+    def test_oracle_from_values(self):
+        values = [3, 7, 2, 9, 1]
+        oracle = exhaustive_oracle(values, lambda v: v > 5)
+        assert oracle(1) and oracle(3)
+        assert not oracle(0) and not oracle(4)
+        assert not oracle(99)
+
+    def test_queries_scale_with_sqrt_domain(self):
+        small = grover_search(16, lambda x: x == 1)
+        large = grover_search(256, lambda x: x == 1)
+        assert large.oracle_queries > small.oracle_queries
+        assert large.oracle_queries <= 4 * math.sqrt(256)
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            grover_search(0, lambda x: True)
+
+
+class TestGroverSearchUnknownCount:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_finds_marked_element(self, seed):
+        rng = np.random.default_rng(seed)
+        marked = {3, 17, 29}
+        result = grover_search_unknown(32, lambda x: x in marked, rng=rng)
+        assert result.is_marked
+        assert result.outcome in marked
+
+    def test_no_marked_element_gives_up(self):
+        rng = np.random.default_rng(1)
+        result = grover_search_unknown(16, lambda x: False, rng=rng)
+        assert not result.is_marked
+        assert result.oracle_queries <= 9 * math.sqrt(16) + 30
+
+    def test_query_budget_scales_with_sqrt(self):
+        rng = np.random.default_rng(2)
+        queries = []
+        for domain in (16, 256):
+            result = grover_search_unknown(domain, lambda x: x == 1, rng=rng)
+            queries.append(result.oracle_queries)
+        assert queries[1] <= 30 * math.sqrt(256)
+
+    def test_many_marked_cheap(self):
+        rng = np.random.default_rng(3)
+        result = grover_search_unknown(64, lambda x: x % 2 == 0, rng=rng)
+        assert result.is_marked
+        assert result.oracle_queries <= 20

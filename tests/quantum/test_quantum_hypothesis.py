@@ -1,0 +1,86 @@
+"""Property-based tests for the quantum search substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import (
+    StateVector,
+    amplitude_amplification_success_probability,
+    grover_search,
+    quantum_maximum,
+    quantum_minimum,
+)
+
+
+@given(
+    st.integers(min_value=2, max_value=64),
+    st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_grover_success_probability_matches_formula(domain_size, data):
+    """The simulated success probability equals sin^2((2t+1) theta) exactly."""
+    num_marked = data.draw(st.integers(min_value=1, max_value=domain_size))
+    marked = set(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=domain_size - 1),
+                min_size=num_marked,
+                max_size=num_marked,
+                unique=True,
+            )
+        )
+    )
+    result = grover_search(domain_size, lambda x: x in marked, num_marked=len(marked))
+    predicted = amplitude_amplification_success_probability(
+        domain_size, len(marked), result.iterations
+    )
+    assert abs(result.success_probability - predicted) < 1e-9
+    assert result.success_probability >= 0.49  # optimal iteration count is good
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=10, deadline=None)
+def test_uniform_superposition_probabilities(num_qubits):
+    state = StateVector(num_qubits).apply_hadamard_all()
+    probabilities = state.probabilities()
+    assert np.allclose(probabilities, 1 / 2**num_qubits)
+    assert abs(state.norm() - 1) < 1e-10
+
+
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_quantum_extrema_bracket_true_extrema(values, seed):
+    """The reported extremum is always an actual element and never better than
+    the true optimum (it can only be equal or -- with small probability --
+    strictly inside the range)."""
+    rng = np.random.default_rng(seed)
+    maximum = quantum_maximum(values, rng=rng)
+    minimum = quantum_minimum(values, rng=rng)
+    assert maximum.value in values
+    assert minimum.value in values
+    assert maximum.value <= max(values)
+    assert minimum.value >= min(values)
+    assert minimum.value <= maximum.value
+    assert maximum.oracle_queries >= 1
+    assert minimum.oracle_queries >= 1
+
+
+@given(st.integers(min_value=1, max_value=256), st.integers(min_value=0, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_success_probability_formula_bounds(num_marked, iterations):
+    domain = 256
+    probability = amplitude_amplification_success_probability(
+        domain, min(num_marked, domain), iterations
+    )
+    assert 0.0 <= probability <= 1.0
+    # Zero iterations gives exactly the uniform-measurement baseline.
+    baseline = amplitude_amplification_success_probability(domain, num_marked, 0)
+    assert abs(baseline - num_marked / domain) < 1e-9

@@ -1,0 +1,162 @@
+"""Tests for the dense state-vector register."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum import HADAMARD, PAULI_X, StateVector, sample_counts
+from repro.quantum.gates import PAULI_Z
+
+
+class TestConstruction:
+    def test_initial_state_is_zero(self):
+        state = StateVector(3)
+        assert state.probability(0) == 1.0
+        assert state.dimension == 8
+        assert state.num_qubits == 3
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            StateVector(0)
+        with pytest.raises(ValueError):
+            StateVector(30)
+
+    def test_norm_is_one(self):
+        assert abs(StateVector(4).norm() - 1.0) < 1e-12
+
+    def test_reset(self):
+        state = StateVector(2)
+        state.reset(3)
+        assert state.probability(3) == 1.0
+        with pytest.raises(ValueError):
+            state.reset(9)
+
+    def test_set_amplitudes_normalises(self):
+        state = StateVector(1)
+        state.set_amplitudes([3, 4])
+        assert abs(state.probability(0) - 9 / 25) < 1e-12
+        assert abs(state.probability(1) - 16 / 25) < 1e-12
+
+    def test_set_amplitudes_validation(self):
+        state = StateVector(2)
+        with pytest.raises(ValueError):
+            state.set_amplitudes([1, 0])
+        with pytest.raises(ValueError):
+            state.set_amplitudes([0, 0, 0, 0])
+
+
+class TestGates:
+    def test_hadamard_creates_uniform(self):
+        state = StateVector(1)
+        state.apply_single_qubit_gate(HADAMARD, 0)
+        assert abs(state.probability(0) - 0.5) < 1e-12
+        assert abs(state.probability(1) - 0.5) < 1e-12
+
+    def test_x_flips_target_qubit(self):
+        state = StateVector(2)
+        state.apply_single_qubit_gate(PAULI_X, 1)  # flips the high bit
+        assert state.probability(2) == pytest.approx(1.0)
+
+    def test_x_on_low_qubit(self):
+        state = StateVector(2)
+        state.apply_single_qubit_gate(PAULI_X, 0)
+        assert state.probability(1) == pytest.approx(1.0)
+
+    def test_hadamard_all(self):
+        state = StateVector(3).apply_hadamard_all()
+        probabilities = state.probabilities()
+        assert np.allclose(probabilities, 1 / 8)
+
+    def test_invalid_qubit_index(self):
+        state = StateVector(2)
+        with pytest.raises(ValueError):
+            state.apply_single_qubit_gate(PAULI_X, 5)
+
+    def test_invalid_gate_shape(self):
+        state = StateVector(2)
+        with pytest.raises(ValueError):
+            state.apply_single_qubit_gate(np.eye(4), 0)
+
+    def test_apply_full_unitary(self):
+        state = StateVector(1)
+        state.apply_unitary(PAULI_X)
+        assert state.probability(1) == pytest.approx(1.0)
+
+    def test_apply_full_unitary_wrong_shape(self):
+        with pytest.raises(ValueError):
+            StateVector(2).apply_unitary(PAULI_Z)
+
+    def test_phase_oracle_flips_marked_sign(self):
+        state = StateVector(2).prepare_uniform()
+        state.apply_phase_oracle(lambda x: x == 2)
+        amplitudes = state.amplitudes
+        assert amplitudes[2].real < 0
+        assert amplitudes[0].real > 0
+
+    def test_gates_preserve_norm(self):
+        state = StateVector(3).apply_hadamard_all()
+        state.apply_phase_oracle(lambda x: x % 3 == 0)
+        state.apply_diffusion()
+        assert abs(state.norm() - 1.0) < 1e-10
+
+
+class TestUniformAndDiffusion:
+    def test_prepare_uniform_partial_domain(self):
+        state = StateVector(3).prepare_uniform(5)
+        probabilities = state.probabilities()
+        assert np.allclose(probabilities[:5], 1 / 5)
+        assert np.allclose(probabilities[5:], 0)
+
+    def test_prepare_uniform_validation(self):
+        with pytest.raises(ValueError):
+            StateVector(2).prepare_uniform(9)
+
+    def test_diffusion_is_reflection_about_mean(self):
+        state = StateVector(2)
+        state.set_amplitudes([0.9, 0.1, 0.3, math.sqrt(1 - 0.9**2 - 0.1**2 - 0.3**2)])
+        before = state.amplitudes
+        mean = before.mean()
+        state.apply_diffusion()
+        after = state.amplitudes
+        assert np.allclose(after, 2 * mean - before)
+
+    def test_single_grover_iteration_amplifies_marked(self):
+        state = StateVector(3).prepare_uniform()
+        marked = 5
+        before = state.probability(marked)
+        state.apply_phase_oracle(lambda x: x == marked)
+        state.apply_diffusion()
+        assert state.probability(marked) > before
+
+
+class TestMeasurement:
+    def test_measure_deterministic_state(self):
+        state = StateVector(2).reset(3)
+        assert state.measure() == 3
+
+    def test_measure_collapses(self):
+        rng = np.random.default_rng(5)
+        state = StateVector(2, rng=rng).apply_hadamard_all()
+        outcome = state.measure()
+        assert state.probability(outcome) == pytest.approx(1.0)
+
+    def test_sampling_distribution_roughly_uniform(self):
+        rng = np.random.default_rng(11)
+        state = StateVector(2, rng=rng).apply_hadamard_all()
+        counts = sample_counts(state, shots=4000)
+        assert set(counts) == {0, 1, 2, 3}
+        assert all(800 < count < 1200 for count in counts.values())
+
+    def test_sample_does_not_collapse(self):
+        state = StateVector(2).apply_hadamard_all()
+        state.sample(10)
+        assert np.allclose(state.probabilities(), 1 / 4)
+
+    def test_copy_independent(self):
+        state = StateVector(2).apply_hadamard_all()
+        clone = state.copy()
+        clone.reset(0)
+        assert np.allclose(state.probabilities(), 1 / 4)

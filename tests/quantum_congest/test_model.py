@@ -1,0 +1,96 @@
+"""Tests for the Lemma 3.1 cost model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.congest import RoundReport
+from repro.quantum_congest import (
+    ProcedureCosts,
+    QuantumCongestCharge,
+    grover_invocation_count,
+    lemma31_round_cost,
+)
+
+
+def _costs(t0=10, t_setup=5, t_eval=3):
+    return ProcedureCosts(
+        initialization=RoundReport(rounds=t0, congested_rounds=t0),
+        setup=RoundReport(rounds=t_setup, congested_rounds=t_setup),
+        evaluation=RoundReport(rounds=t_eval, congested_rounds=t_eval),
+        label="test",
+    )
+
+
+class TestInvocationCount:
+    def test_formula(self):
+        assert grover_invocation_count(1.0, 0.5) == math.ceil(math.sqrt(math.log(2)))
+
+    def test_smaller_rho_more_invocations(self):
+        assert grover_invocation_count(0.01, 0.1) > grover_invocation_count(0.5, 0.1)
+
+    def test_smaller_delta_more_invocations(self):
+        assert grover_invocation_count(0.1, 0.001) > grover_invocation_count(0.1, 0.5)
+
+    def test_sqrt_scaling_in_rho(self):
+        base = grover_invocation_count(0.04, 0.1)
+        finer = grover_invocation_count(0.01, 0.1)
+        assert 1.5 <= finer / base <= 2.5  # rho shrank by 4 -> factor ~2
+
+    def test_at_least_one(self):
+        assert grover_invocation_count(1.0, 0.9) >= 1
+
+    @pytest.mark.parametrize("rho,delta", [(0, 0.1), (1.5, 0.1), (0.5, 0), (0.5, 1)])
+    def test_validation(self, rho, delta):
+        with pytest.raises(ValueError):
+            grover_invocation_count(rho, delta)
+
+
+class TestProcedureCosts:
+    def test_t0_and_t(self):
+        costs = _costs(t0=7, t_setup=4, t_eval=2)
+        assert costs.t0_rounds == 7
+        assert costs.t_rounds == 6
+
+
+class TestCharge:
+    def test_total_rounds_formula(self):
+        costs = _costs(t0=10, t_setup=5, t_eval=3)
+        charge = QuantumCongestCharge(costs=costs, rho=0.25, delta=0.1, invocations=4)
+        assert charge.total_rounds == 10 + 4 * 8
+
+    def test_extra_classical_added(self):
+        costs = _costs()
+        charge = QuantumCongestCharge(
+            costs=costs,
+            rho=0.5,
+            delta=0.1,
+            invocations=2,
+            extra_classical=RoundReport(rounds=6, congested_rounds=6),
+        )
+        assert charge.total_rounds == costs.t0_rounds + 2 * costs.t_rounds + 6
+
+    def test_as_report_consistency(self):
+        costs = _costs(t0=9, t_setup=2, t_eval=1)
+        charge = lemma31_round_cost(costs, rho=0.1, delta=0.2)
+        report = charge.as_report()
+        assert report.congested_rounds == charge.total_rounds
+        assert report.protocol.startswith("quantum-search")
+
+    def test_lemma31_round_cost_uses_formula(self):
+        costs = _costs()
+        charge = lemma31_round_cost(costs, rho=0.04, delta=0.1)
+        assert charge.invocations == grover_invocation_count(0.04, 0.1)
+
+    def test_message_totals_scale_with_invocations(self):
+        setup = RoundReport(rounds=2, congested_rounds=2, total_messages=10, total_bits=100)
+        evaluation = RoundReport(rounds=1, congested_rounds=1, total_messages=5, total_bits=50)
+        costs = ProcedureCosts(
+            initialization=RoundReport(), setup=setup, evaluation=evaluation
+        )
+        charge = QuantumCongestCharge(costs=costs, rho=1.0, delta=0.5, invocations=3)
+        report = charge.as_report()
+        assert report.total_messages == 3 * 15
+        assert report.total_bits == 3 * 150

@@ -1,0 +1,154 @@
+"""Tests for the distributed quantum optimizer (Lemma 3.1 as an object)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.congest import RoundReport
+from repro.quantum_congest import (
+    DistributedQuantumOptimizer,
+    ProcedureCosts,
+    SearchMode,
+    grover_invocation_count,
+)
+
+
+def _costs(t0=20, t_setup=6, t_eval=4):
+    return ProcedureCosts(
+        initialization=RoundReport(rounds=t0, congested_rounds=t0),
+        setup=RoundReport(rounds=t_setup, congested_rounds=t_setup),
+        evaluation=RoundReport(rounds=t_eval, congested_rounds=t_eval),
+        label="unit-test",
+    )
+
+
+def _optimizer(mode=SearchMode.AUTO, delta=0.1, seed=0, costs=None):
+    return DistributedQuantumOptimizer(
+        costs or _costs(),
+        delta=delta,
+        rng=np.random.default_rng(seed),
+        mode=mode,
+    )
+
+
+class TestStateVectorMode:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_maximize_finds_max(self, seed):
+        optimizer = _optimizer(mode=SearchMode.STATEVECTOR, seed=seed)
+        domain = list(range(30))
+        values = {x: (x * 37) % 101 for x in domain}
+        outcome = optimizer.maximize(domain, lambda x: values[x])
+        assert outcome.value == max(values.values())
+        assert outcome.mode is SearchMode.STATEVECTOR
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_minimize_finds_min(self, seed):
+        optimizer = _optimizer(mode=SearchMode.STATEVECTOR, seed=seed)
+        domain = list(range(25))
+        values = {x: ((x + 3) * 17) % 83 for x in domain}
+        outcome = optimizer.minimize(domain, lambda x: values[x])
+        assert outcome.value == min(values.values())
+
+    def test_charge_uses_measured_invocations(self):
+        optimizer = _optimizer(mode=SearchMode.STATEVECTOR)
+        outcome = optimizer.maximize(list(range(16)), lambda x: x)
+        costs = _costs()
+        expected = costs.t0_rounds + outcome.invocations * costs.t_rounds
+        assert outcome.total_rounds == expected
+
+
+class TestQueryModelMode:
+    def test_invocations_follow_lemma31(self):
+        optimizer = _optimizer(mode=SearchMode.QUERY_MODEL, delta=0.05)
+        outcome = optimizer.maximize(list(range(100)), lambda x: x, rho=0.04)
+        assert outcome.invocations == grover_invocation_count(0.04, 0.05)
+
+    def test_success_probability_respected(self):
+        successes = 0
+        trials = 200
+        for seed in range(trials):
+            optimizer = _optimizer(mode=SearchMode.QUERY_MODEL, delta=0.2, seed=seed)
+            outcome = optimizer.maximize(list(range(50)), lambda x: x, rho=0.02)
+            successes += outcome.succeeded
+        assert successes >= trials * 0.7
+
+    def test_rho_defaults_to_single_optimum(self):
+        optimizer = _optimizer(mode=SearchMode.QUERY_MODEL, delta=0.1)
+        outcome = optimizer.maximize(list(range(64)), lambda x: x)
+        assert outcome.invocations == grover_invocation_count(1 / 64, 0.1)
+
+    def test_minimize_good_set_is_bottom(self):
+        optimizer = _optimizer(mode=SearchMode.QUERY_MODEL, delta=0.1, seed=3)
+        domain = list(range(40))
+        outcome = optimizer.minimize(domain, lambda x: x, rho=0.25)
+        if outcome.succeeded:
+            assert outcome.value <= sorted(domain)[9]
+
+
+class TestAutoMode:
+    def test_small_domain_uses_statevector(self):
+        optimizer = _optimizer(mode=SearchMode.AUTO)
+        outcome = optimizer.maximize(list(range(20)), lambda x: x)
+        assert outcome.mode is SearchMode.STATEVECTOR
+
+    def test_large_domain_uses_query_model(self):
+        optimizer = _optimizer(mode=SearchMode.AUTO)
+        outcome = optimizer.maximize(list(range(2000)), lambda x: x)
+        assert outcome.mode is SearchMode.QUERY_MODEL
+
+
+class TestSearchWithPromise:
+    def test_returns_good_element_with_high_probability(self):
+        domain = list(range(100))
+        good = list(range(90, 100))
+        hits = 0
+        for seed in range(100):
+            optimizer = _optimizer(mode=SearchMode.QUERY_MODEL, delta=0.1, seed=seed)
+            outcome = optimizer.search_with_promise(domain, good, lambda x: float(x))
+            hits += outcome.element in good
+        assert hits >= 80
+
+    def test_rho_defaults_to_good_fraction(self):
+        optimizer = _optimizer(delta=0.1)
+        outcome = optimizer.search_with_promise(
+            list(range(100)), list(range(25)), lambda x: float(x)
+        )
+        assert outcome.invocations == grover_invocation_count(0.25, 0.1)
+
+    def test_lazy_evaluation_only_on_returned_element(self):
+        evaluated = []
+
+        def evaluate(x):
+            evaluated.append(x)
+            return float(x)
+
+        optimizer = _optimizer(delta=0.1, seed=1)
+        outcome = optimizer.search_with_promise(list(range(50)), [7, 8, 9], evaluate)
+        assert evaluated == [outcome.element]
+
+    def test_empty_good_set_rejected(self):
+        optimizer = _optimizer()
+        with pytest.raises(ValueError):
+            optimizer.search_with_promise([1, 2, 3], [], lambda x: x)
+
+    def test_empty_domain_rejected(self):
+        optimizer = _optimizer()
+        with pytest.raises(ValueError):
+            optimizer.search_with_promise([], [1], lambda x: x)
+
+
+class TestValidation:
+    def test_bad_delta(self):
+        with pytest.raises(ValueError):
+            DistributedQuantumOptimizer(_costs(), delta=0)
+
+    def test_bad_rho(self):
+        optimizer = _optimizer()
+        with pytest.raises(ValueError):
+            optimizer.maximize([1, 2], lambda x: x, rho=2.0)
+
+    def test_empty_domain(self):
+        optimizer = _optimizer()
+        with pytest.raises(ValueError):
+            optimizer.maximize([], lambda x: x)
