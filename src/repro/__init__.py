@@ -4,6 +4,9 @@ and Radius in CONGEST Networks" (PODC 2022).
 The library is organised in layers (see DESIGN.md):
 
 * :mod:`repro.graphs` -- weighted-graph substrate and sequential ground truth.
+* :mod:`repro.kernels` -- CSR snapshots of the graph plus batched
+  shortest-path kernels with pluggable (SciPy/NumPy/pure-Python) backends;
+  the performance substrate under every sequential oracle.
 * :mod:`repro.congest` -- the classical CONGEST model: synchronous simulator,
   round accounting, classical distance protocols.
 * :mod:`repro.quantum` -- state-vector quantum simulator, Grover search and

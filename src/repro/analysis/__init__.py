@@ -25,6 +25,7 @@ from repro.analysis.workloads import (
     WorkloadInstance,
     diameter_sweep_workloads,
     crossover_workloads,
+    kernel_scaling_workloads,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "WorkloadInstance",
     "diameter_sweep_workloads",
     "crossover_workloads",
+    "kernel_scaling_workloads",
 ]

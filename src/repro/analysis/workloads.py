@@ -29,7 +29,12 @@ from repro.graphs.generators import (
 )
 from repro.graphs.weighted_graph import WeightedGraph
 
-__all__ = ["WorkloadInstance", "diameter_sweep_workloads", "crossover_workloads"]
+__all__ = [
+    "WorkloadInstance",
+    "diameter_sweep_workloads",
+    "crossover_workloads",
+    "kernel_scaling_workloads",
+]
 
 
 @dataclass
@@ -101,6 +106,30 @@ def diameter_sweep_workloads(
             )
         )
     return instances
+
+
+def kernel_scaling_workloads(
+    node_counts: Iterable[int] = (128, 256, 512, 1024),
+    average_degree: float = 4.0,
+    max_weight: int = 100,
+    seed: int = 0,
+) -> List[WeightedGraph]:
+    """Plain graphs (no CONGEST wrapper) for the sequential-kernel ladder.
+
+    These sizes were out of reach for the dict-based oracles -- the seed APSP
+    alone took seconds at ``n = 512`` -- but are comfortable for the batched
+    CSR kernels, so the kernel benchmarks sweep an order of magnitude further
+    than the simulator-bound workloads above.  Returned as bare
+    :class:`WeightedGraph` instances because wrapping in a
+    :class:`~repro.congest.network.Network` (which measures the unweighted
+    diameter eagerly) is unnecessary for sequential kernels.
+    """
+    return [
+        random_weighted_graph(
+            n, average_degree=average_degree, max_weight=max_weight, seed=seed + i
+        )
+        for i, n in enumerate(node_counts)
+    ]
 
 
 def crossover_workloads(

@@ -196,12 +196,7 @@ class Simulator:
 
         round_number = 0
         while True:
-            all_halted = all(ctx.halted for ctx in contexts.values())
-            if all_halted:
-                break
-            if not in_flight and all(
-                ctx.halted for ctx in contexts.values()
-            ):  # pragma: no cover - defensive
+            if all(ctx.halted for ctx in contexts.values()):
                 break
             round_number += 1
             if round_number > self._max_rounds:

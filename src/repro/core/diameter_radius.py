@@ -32,7 +32,7 @@ from repro.congest.network import Network
 from repro.congest.primitives import broadcast_from, build_bfs_tree
 from repro.congest.simulator import RoundReport
 from repro.core.parameters import AlgorithmParameters, ParameterProfile
-from repro.graphs.properties import all_eccentricities
+from repro.kernels import eccentricities_csr
 from repro.nanongkai.skeleton import SkeletonApproximator, sample_skeleton_sets
 from repro.quantum_congest.model import ProcedureCosts, QuantumCongestCharge
 from repro.quantum_congest.optimizer import (
@@ -113,7 +113,7 @@ def _extremal_nodes(network: Network, maximize: bool) -> Tuple[List[int], float]
     for the query-model emulation of the outer search; see DESIGN.md.  The
     computation is sequential ground truth and is never charged rounds.
     """
-    eccentricities = all_eccentricities(network.graph)
+    eccentricities = eccentricities_csr(network.graph)
     target = max(eccentricities.values()) if maximize else min(eccentricities.values())
     nodes = [node for node, value in eccentricities.items() if value == target]
     return nodes, target

@@ -30,7 +30,7 @@ from repro.congest.apsp import classical_eccentricity_protocol
 from repro.congest.network import Network
 from repro.congest.primitives import broadcast_from, build_bfs_tree
 from repro.congest.simulator import RoundReport
-from repro.graphs.properties import all_eccentricities
+from repro.kernels import eccentricities_csr
 from repro.quantum_congest.model import ProcedureCosts, QuantumCongestCharge
 from repro.quantum_congest.optimizer import DistributedQuantumOptimizer, SearchMode
 
@@ -99,7 +99,9 @@ def _naive_search(
         costs, delta=delta, rng=rng, mode=SearchMode.QUERY_MODEL
     )
 
-    eccentricities = all_eccentricities(network.graph)
+    # Ground-truth eccentricities for the search oracle, via one batched
+    # APSP kernel pass (never charged rounds).
+    eccentricities = eccentricities_csr(network.graph)
     search = optimizer.maximize if maximize else optimizer.minimize
     outcome = search(
         network.nodes,

@@ -26,6 +26,10 @@ from repro.graphs.shortest_paths import (
     bounded_distance_sssp,
     all_pairs_distances,
     shortest_path,
+    dijkstra_reference,
+    bellman_ford_reference,
+    bounded_hop_distances_reference,
+    all_pairs_distances_reference,
 )
 from repro.graphs.properties import (
     eccentricity,
@@ -39,9 +43,11 @@ from repro.graphs.properties import (
     unweighted_diameter,
 )
 from repro.graphs.rounding import (
+    rounded_weight,
     rounded_weights,
     approx_bounded_hop_distance,
     approx_bounded_hop_distances_from,
+    approx_bounded_hop_distances_multi,
 )
 from repro.graphs.contraction import contract_unit_weight_edges, ContractionResult
 from repro.graphs.generators import (
@@ -69,6 +75,10 @@ __all__ = [
     "bounded_distance_sssp",
     "all_pairs_distances",
     "shortest_path",
+    "dijkstra_reference",
+    "bellman_ford_reference",
+    "bounded_hop_distances_reference",
+    "all_pairs_distances_reference",
     "eccentricity",
     "all_eccentricities",
     "diameter",
@@ -78,9 +88,11 @@ __all__ = [
     "center",
     "periphery",
     "unweighted_diameter",
+    "rounded_weight",
     "rounded_weights",
     "approx_bounded_hop_distance",
     "approx_bounded_hop_distances_from",
+    "approx_bounded_hop_distances_multi",
     "contract_unit_weight_edges",
     "ContractionResult",
     "path_graph",

@@ -46,22 +46,28 @@ def eccentricity(graph: WeightedGraph, node: int) -> float:
 
 
 def all_eccentricities(graph: WeightedGraph) -> Dict[int, float]:
-    """Return the eccentricity of every node."""
-    return {node: eccentricity(graph, node) for node in graph.nodes}
+    """Return the eccentricity of every node (one batched APSP kernel pass)."""
+    from repro.kernels import eccentricities_csr
+
+    return eccentricities_csr(graph)
 
 
 def diameter(graph: WeightedGraph) -> float:
     """Return the weighted diameter ``D_{G,w} = max_u e(u)``."""
+    from repro.kernels import diameter_csr
+
     if graph.num_nodes == 0:
         raise ValueError("diameter of an empty graph is undefined")
-    return max(all_eccentricities(graph).values())
+    return diameter_csr(graph)
 
 
 def radius(graph: WeightedGraph) -> float:
     """Return the weighted radius ``R_{G,w} = min_u e(u)``."""
+    from repro.kernels import radius_csr
+
     if graph.num_nodes == 0:
         raise ValueError("radius of an empty graph is undefined")
-    return min(all_eccentricities(graph).values())
+    return radius_csr(graph)
 
 
 def center(graph: WeightedGraph) -> List[int]:

@@ -31,10 +31,24 @@ from repro.graphs.weighted_graph import WeightedGraph
 
 __all__ = [
     "rounding_levels",
+    "rounded_weight",
     "rounded_weights",
     "approx_bounded_hop_distance",
     "approx_bounded_hop_distances_from",
+    "approx_bounded_hop_distances_multi",
 ]
+
+
+def rounded_weight(weight: int, hop_bound: int, epsilon: float, level: int) -> int:
+    """One application of the Lemma 3.2 rounding: ``max(1, ceil(2 l w / (eps 2^i)))``.
+
+    The single shared definition of the rounding formula; the graph-level
+    reference (:func:`rounded_weights`), the batched oracle
+    (:func:`approx_bounded_hop_distances_multi`) and the distributed
+    protocols in :mod:`repro.nanongkai` all call this, so the oracle and the
+    protocol can never drift apart.
+    """
+    return max(1, math.ceil(2 * hop_bound * weight / (epsilon * (2**level))))
 
 
 def rounding_levels(graph: WeightedGraph, hop_bound: int, epsilon: float) -> int:
@@ -60,10 +74,9 @@ def rounded_weights(
     """Return the graph re-weighted with ``w_i(e) = ceil(2 l w(e) / (eps 2^i))``."""
     if level < 0:
         raise ValueError(f"level must be non-negative, got {level}")
-    scale = epsilon * (2**level)
 
     def _round(u: int, v: int, weight: int) -> int:
-        return max(1, math.ceil(2 * hop_bound * weight / scale))
+        return rounded_weight(weight, hop_bound, epsilon, level)
 
     return graph.reweighted(_round)
 
@@ -106,23 +119,65 @@ def approx_bounded_hop_distances_from(
         Mapping node -> approximate bounded-hop distance (``math.inf`` if no
         level certifies a bounded-hop path).  The source maps to ``0``.
     """
-    if source not in graph:
-        raise KeyError(f"source node {source} is not in the graph")
+    table = approx_bounded_hop_distances_multi(
+        graph, [source], hop_bound, epsilon, levels=levels
+    )
+    return table[source]
+
+
+def approx_bounded_hop_distances_multi(
+    graph: WeightedGraph,
+    sources: Iterable[int],
+    hop_bound: int,
+    epsilon: float,
+    levels: Optional[int] = None,
+) -> Dict[int, Dict[int, float]]:
+    """Compute ``d~^l_{G,w}(s, v)`` for every ``s`` in ``sources`` in one batch.
+
+    The sequential reference for Algorithm 3 (Multi-Source Bounded-Hop SSSP):
+    per rounding level the CSR topology is snapshotted once, re-weighted in
+    place with ``w_i``, and all sources are solved in a single batched kernel
+    pass; values within the threshold ``(1 + 2/eps) * l`` are rescaled and the
+    minimum over levels is kept.
+
+    Returns
+    -------
+    dict
+        ``{source: {node: distance}}`` with ``math.inf`` where no level
+        certifies a bounded-hop path.
+    """
+    from repro.kernels import CSRGraph, multi_source_dijkstra
+
+    source_list = list(sources)
+    missing = [source for source in source_list if source not in graph]
+    if missing:
+        raise KeyError(f"source node {missing[0]} is not in the graph")
     if levels is None:
         levels = rounding_levels(graph, hop_bound, epsilon)
     threshold = (1 + 2 / epsilon) * hop_bound
-    best: Dict[int, float] = {node: INFINITY for node in graph.nodes}
-    best[source] = 0.0
+    csr = CSRGraph.from_graph(graph)
+    best: Dict[int, Dict[int, float]] = {
+        source: {node: INFINITY for node in graph.nodes} for source in source_list
+    }
+    for source in source_list:
+        best[source][source] = 0.0
     for level in range(levels):
-        rounded = rounded_weights(graph, hop_bound, epsilon, level)
-        distances = dijkstra(rounded, source)
+        rounded = csr.with_weights(
+            [
+                rounded_weight(weight, hop_bound, epsilon, level)
+                for weight in csr.weights
+            ]
+        )
+        tables = multi_source_dijkstra(rounded, source_list)
         scale = epsilon * (2**level) / (2 * hop_bound)
-        for node, dist in distances.items():
-            if dist is INFINITY or dist > threshold:
-                continue
-            rescaled = dist * scale
-            if rescaled < best[node]:
-                best[node] = rescaled
+        for source in source_list:
+            row = best[source]
+            for node, dist in tables[source].items():
+                if math.isinf(dist) or dist > threshold:
+                    continue
+                rescaled = dist * scale
+                if rescaled < row[node]:
+                    row[node] = rescaled
     return best
 
 

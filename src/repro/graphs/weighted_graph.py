@@ -56,6 +56,9 @@ class WeightedGraph:
         edges: Optional[Iterable[Edge]] = None,
     ) -> None:
         self._adjacency: Dict[int, Dict[int, int]] = {}
+        #: Monotone mutation counter; :mod:`repro.kernels.csr` keys its frozen
+        #: CSR snapshot cache on this so any mutation invalidates the snapshot.
+        self._version: int = 0
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -70,6 +73,7 @@ class WeightedGraph:
         """Add ``node`` to the graph (a no-op if it already exists)."""
         if node not in self._adjacency:
             self._adjacency[node] = {}
+            self._version += 1
 
     def add_edge(self, u: int, v: int, weight: int = 1) -> None:
         """Add the undirected edge ``{u, v}`` with the given positive weight.
@@ -87,17 +91,20 @@ class WeightedGraph:
         self.add_node(v)
         self._adjacency[u][v] = weight
         self._adjacency[v][u] = weight
+        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
         del self._adjacency[u][v]
         del self._adjacency[v][u]
+        self._version += 1
 
     def remove_node(self, node: int) -> None:
         """Remove ``node`` and all incident edges."""
         for neighbor in list(self._adjacency[node]):
             del self._adjacency[neighbor][node]
         del self._adjacency[node]
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -1,0 +1,65 @@
+"""Array-based (CSR) shortest-path kernels with pluggable backends.
+
+This subpackage is the performance substrate under every sequential oracle in
+the library: a frozen :class:`~repro.kernels.csr.CSRGraph` snapshot of
+:class:`~repro.graphs.weighted_graph.WeightedGraph` plus batched kernels that
+the :mod:`repro.graphs`, :mod:`repro.core`, :mod:`repro.nanongkai` and
+:mod:`repro.analysis` layers all consume.
+
+Backends are pluggable through a small registry (:mod:`repro.kernels.backend`):
+the vectorized NumPy backend is registered when NumPy is importable, and a
+pure-Python fallback with identical semantics is always available.  Set
+``REPRO_BACKEND=python`` (or use :func:`force_backend`) to pin the fallback,
+e.g. when bisecting a suspected kernel bug.
+"""
+
+from repro.kernels.csr import CSRGraph
+from repro.kernels.backend import (
+    BACKEND_ENV_VAR,
+    KernelBackend,
+    available_backends,
+    force_backend,
+    get_backend,
+    register_backend,
+)
+
+# Register the built-in backends: the Python fallback always, NumPy and SciPy
+# when their imports succeed (the environment may legitimately lack them).
+from repro.kernels import python_backend as _python_backend  # noqa: F401
+
+try:  # pragma: no cover - exercised via the backend-matrix CI job
+    from repro.kernels import numpy_backend as _numpy_backend  # noqa: F401
+except ImportError:  # pragma: no cover
+    pass
+else:
+    try:  # pragma: no cover - SciPy implies NumPy, not vice versa
+        from repro.kernels import scipy_backend as _scipy_backend  # noqa: F401
+    except ImportError:  # pragma: no cover
+        pass
+
+from repro.kernels.api import (
+    all_pairs_distances_csr,
+    batched_bellman_ford,
+    diameter_csr,
+    dijkstra_csr,
+    eccentricities_csr,
+    multi_source_dijkstra,
+    radius_csr,
+)
+
+__all__ = [
+    "CSRGraph",
+    "KernelBackend",
+    "BACKEND_ENV_VAR",
+    "available_backends",
+    "force_backend",
+    "get_backend",
+    "register_backend",
+    "dijkstra_csr",
+    "multi_source_dijkstra",
+    "batched_bellman_ford",
+    "all_pairs_distances_csr",
+    "eccentricities_csr",
+    "diameter_csr",
+    "radius_csr",
+]

@@ -1,0 +1,134 @@
+"""Vectorized kernel backend (registered only when NumPy is importable).
+
+The workhorse is a *batched* Bellman-Ford relaxation: all sources in a chunk
+are relaxed simultaneously against every CSR entry in one vectorized step per
+hop.  Because the graph is undirected, node ``v``'s CSR slice lists exactly
+its incoming edges, so a per-node minimum over gathered candidates performs
+one full relaxation round for the whole source batch at once.  Two layout
+tricks keep the kernel memory-friendly:
+
+* **Degree bucketing** -- nodes are grouped by degree ``d`` so each group's
+  candidates reshape to ``(count, d, k)`` and reduce with a plain
+  ``min(axis=1)`` (much faster than ``np.minimum.reduceat`` over ragged
+  segments).
+* **Source chunking** -- sources are processed ``chunk`` at a time so the
+  ``(M, chunk)`` candidate matrix stays cache-resident even for APSP on
+  hundreds of nodes.
+
+With positive weights the iteration converges after (weighted) hop-diameter
+rounds, so exact APSP becomes a handful of dense array passes instead of one
+dict-based Dijkstra per node.
+
+Exactness: all inputs are positive integers, every finite distance is an
+integer sum far below ``2**53``, and ``min``/``+`` on float64 are exact in
+that range, so results are bit-for-bit identical to the pure-Python backend.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.backend import KernelBackend, register_backend
+from repro.kernels.csr import CSRGraph
+
+__all__ = ["NumpyBackend"]
+
+#: Sources processed per relaxation block; 128 keeps the per-round candidate
+#: matrix of a sparse 500-node graph within L2-cache reach.
+_SOURCE_CHUNK = 128
+
+_BUCKET_KEY = "numpy:degree-buckets"
+
+
+class NumpyBackend(KernelBackend):
+    """Batched, degree-bucketed relaxation kernels on NumPy CSR mirrors."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------ #
+    def _buckets(
+        self, csr: CSRGraph
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Group nodes by degree: ``(nodes_d, neighbor_idx, weight_column)``.
+
+        ``neighbor_idx``/``weight_column`` are the concatenated CSR entries of
+        all degree-``d`` nodes, so ``dist[neighbor_idx] + weight_column``
+        reshapes to ``(len(nodes_d), d, k)`` for a vectorized per-node min.
+        """
+        buckets = csr.memo.get(_BUCKET_KEY)
+        if buckets is None:
+            indptr, indices, weights = csr.numpy_arrays()
+            degrees = np.diff(indptr)
+            buckets = []
+            for degree in np.unique(degrees):
+                if degree == 0:
+                    continue
+                nodes_d = np.where(degrees == degree)[0]
+                gather = (
+                    indptr[nodes_d][:, None] + np.arange(degree)[None, :]
+                ).ravel()
+                buckets.append(
+                    (nodes_d, indices[gather], weights[gather][:, None])
+                )
+            csr.memo[_BUCKET_KEY] = buckets
+        return buckets
+
+    # ------------------------------------------------------------------ #
+    def _relax_block(
+        self, csr: CSRGraph, sources: np.ndarray, max_rounds: int
+    ) -> np.ndarray:
+        """Relax one source block to round ``max_rounds`` (or convergence).
+
+        Works in transposed ``(n, k)`` layout so each bucket's gather reads
+        whole contiguous rows.  Returns the block's ``(k, n)`` distances.
+        """
+        n = csr.num_nodes
+        k = len(sources)
+        dist = np.full((n, k), np.inf)
+        dist[sources, np.arange(k)] = 0.0
+        buckets = self._buckets(csr)
+        for _ in range(max_rounds):
+            if not buckets:
+                break
+            new_dist = dist.copy()
+            for nodes_d, neighbor_idx, weight_column in buckets:
+                candidates = dist[neighbor_idx] + weight_column
+                candidates = candidates.reshape(len(nodes_d), -1, k).min(axis=1)
+                new_dist[nodes_d] = np.minimum(new_dist[nodes_d], candidates)
+            if np.array_equal(new_dist, dist):
+                break
+            dist = new_dist
+        return dist.T
+
+    def _relax(
+        self, csr: CSRGraph, sources: Sequence[int], max_rounds: int
+    ) -> np.ndarray:
+        source_array = np.asarray(list(sources), dtype=np.int64)
+        out = np.empty((len(source_array), csr.num_nodes))
+        for start in range(0, len(source_array), _SOURCE_CHUNK):
+            block = source_array[start : start + _SOURCE_CHUNK]
+            out[start : start + len(block)] = self._relax_block(
+                csr, block, max_rounds
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    def sssp(self, csr: CSRGraph, source: int) -> np.ndarray:
+        # Positive weights: relaxation to fixpoint (at most n - 1 rounds)
+        # equals Dijkstra exactly.
+        return self._relax(csr, [source], max(csr.num_nodes - 1, 0))[0]
+
+    def multi_source_sssp(
+        self, csr: CSRGraph, sources: Sequence[int]
+    ) -> List[np.ndarray]:
+        return list(self._relax(csr, sources, max(csr.num_nodes - 1, 0)))
+
+    def bounded_hop(
+        self, csr: CSRGraph, sources: Sequence[int], max_hops: int
+    ) -> List[np.ndarray]:
+        return list(self._relax(csr, sources, max_hops))
+
+
+register_backend(NumpyBackend())

@@ -28,9 +28,11 @@ from repro.nanongkai.bounded_distance_sssp import (
 )
 from repro.nanongkai.bounded_hop_sssp import (
     bounded_hop_sssp_protocol,
+    bounded_hop_sssp_oracle,
 )
 from repro.nanongkai.multi_source import (
     multi_source_bounded_hop_protocol,
+    multi_source_bounded_hop_oracle,
 )
 from repro.nanongkai.overlay import (
     OverlayGraph,
@@ -47,7 +49,9 @@ from repro.nanongkai.skeleton import (
 __all__ = [
     "bounded_distance_sssp_protocol",
     "bounded_hop_sssp_protocol",
+    "bounded_hop_sssp_oracle",
     "multi_source_bounded_hop_protocol",
+    "multi_source_bounded_hop_oracle",
     "OverlayGraph",
     "OverlayEmbedding",
     "embed_overlay_network",

@@ -17,11 +17,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.congest.network import Network
 from repro.congest.simulator import RoundReport
-from repro.graphs.rounding import rounding_levels
+from repro.graphs.rounding import rounded_weight, rounding_levels
 from repro.nanongkai.bounded_distance_sssp import bounded_distance_sssp_protocol
 
 __all__ = [
     "bounded_hop_sssp_protocol",
+    "bounded_hop_sssp_oracle",
     "rounded_incident_weights",
     "level_distance_bound",
 ]
@@ -47,14 +48,38 @@ def rounded_incident_weights(
     computation is free in the CONGEST model); the structure returned here is
     handed to the simulator as pre-loaded node memory.
     """
-    scale = epsilon * (2**level)
     rounded: Dict[int, Dict[int, int]] = {}
     for node in network.nodes:
         rounded[node] = {
-            neighbor: max(1, math.ceil(2 * hop_bound * weight / scale))
+            neighbor: rounded_weight(weight, hop_bound, epsilon, level)
             for neighbor, weight in network.incident_weights(node).items()
         }
     return rounded
+
+
+def bounded_hop_sssp_oracle(
+    network: Network,
+    source: int,
+    hop_bound: int,
+    epsilon: float,
+    levels: Optional[int] = None,
+) -> Dict[int, float]:
+    """Sequential ground truth for Algorithm 1 via the batched CSR kernels.
+
+    Returns exactly the per-node table the protocol converges to, computed
+    without the simulator; the differential tests check the protocol against
+    this oracle on every backend.
+    """
+    from repro.graphs.rounding import approx_bounded_hop_distances_multi
+
+    if source not in network.graph:
+        raise KeyError(f"source node {source} is not in the graph")
+    if levels is None:
+        levels = rounding_levels(network.graph, hop_bound, epsilon)
+    table = approx_bounded_hop_distances_multi(
+        network.graph, [source], hop_bound, epsilon, levels=levels
+    )
+    return table[source]
 
 
 def bounded_hop_sssp_protocol(

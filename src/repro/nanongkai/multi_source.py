@@ -30,10 +30,14 @@ from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.primitives import broadcast_values_from, build_bfs_tree
 from repro.congest.simulator import RoundReport, Simulator
-from repro.graphs.rounding import rounding_levels
+from repro.graphs.rounding import rounded_weight, rounding_levels
 from repro.nanongkai.bounded_hop_sssp import level_distance_bound
 
-__all__ = ["MultiSourceBoundedHopAlgorithm", "multi_source_bounded_hop_protocol"]
+__all__ = [
+    "MultiSourceBoundedHopAlgorithm",
+    "multi_source_bounded_hop_protocol",
+    "multi_source_bounded_hop_oracle",
+]
 
 _INF = math.inf
 
@@ -72,8 +76,7 @@ class MultiSourceBoundedHopAlgorithm(NodeAlgorithm):
 
     # ------------------------------------------------------------------ #
     def _rounded_weight(self, weight: int, level: int) -> int:
-        scale = self._epsilon * (2**level)
-        return max(1, math.ceil(2 * self._hop_bound * weight / scale))
+        return rounded_weight(weight, self._hop_bound, self._epsilon, level)
 
     def _level_and_offset(self, instance: int, round_number: int) -> Optional[Tuple[int, int]]:
         """Return ``(level, offset)`` if the instance is active this round."""
@@ -171,6 +174,37 @@ class MultiSourceBoundedHopAlgorithm(NodeAlgorithm):
 
     def output(self, ctx: NodeContext) -> Any:
         return dict(ctx.memory["best"])
+
+
+def multi_source_bounded_hop_oracle(
+    network: Network,
+    sources: List[int],
+    hop_bound: int,
+    epsilon: float,
+    levels: Optional[int] = None,
+) -> Dict[int, Dict[int, float]]:
+    """Sequential ground truth for Algorithm 3, in the protocol's output shape.
+
+    Computes ``d̃^ℓ_{G,w}(s, v)`` for every ``s ∈ sources`` with the batched
+    CSR kernels (one multi-source pass per rounding level) and returns it as
+    ``{v: {s: distance}}`` -- exactly the table
+    :func:`multi_source_bounded_hop_protocol` produces, so differential tests
+    can compare the two element-wise.
+    """
+    from repro.graphs.rounding import approx_bounded_hop_distances_multi
+
+    if not sources:
+        raise ValueError("the source set must be non-empty")
+    missing = [source for source in sources if source not in network.graph]
+    if missing:
+        raise KeyError(f"sources {missing} are not nodes of the network")
+    per_source = approx_bounded_hop_distances_multi(
+        network.graph, sources, hop_bound, epsilon, levels=levels
+    )
+    return {
+        node: {source: per_source[source][node] for source in sources}
+        for node in network.nodes
+    }
 
 
 def multi_source_bounded_hop_protocol(

@@ -224,3 +224,38 @@ class TestRoundReport:
     def test_sequential_empty(self):
         combined = RoundReport.sequential([])
         assert combined.rounds == 0
+
+
+class _HaltDuringInitialize(NodeAlgorithm):
+    """Every node halts before the first round is ever scheduled."""
+
+    name = "halt-during-initialize"
+
+    def initialize(self, ctx):
+        ctx.memory["rounds_seen"] = 0
+        ctx.halt()
+
+    def receive(self, ctx, round_number, messages):  # pragma: no cover
+        ctx.memory["rounds_seen"] += 1
+
+    def output(self, ctx):
+        return ctx.memory["rounds_seen"]
+
+
+class TestHaltDuringInitialize:
+    """Round accounting when a protocol halts during ``initialize``.
+
+    Regression test for the all-halted check at the top of the scheduler
+    loop: the execution must terminate before round 1 with an all-zero
+    report, and ``receive`` must never run.
+    """
+
+    def test_zero_rounds_charged(self):
+        network = Network(path_graph(4))
+        result = Simulator(network).run(_HaltDuringInitialize())
+        report = result.report
+        assert report.rounds == 0
+        assert report.congested_rounds == 0
+        assert report.total_messages == 0
+        assert report.total_bits == 0
+        assert all(rounds_seen == 0 for rounds_seen in result.outputs.values())

@@ -1,0 +1,128 @@
+"""Unit tests for the frozen CSR snapshot and its cache."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import WeightedGraph, random_weighted_graph
+from repro.kernels import CSRGraph, dijkstra_csr, diameter_csr, eccentricities_csr, radius_csr
+
+pytestmark = pytest.mark.kernels
+
+
+class TestConstruction:
+    def test_arrays_mirror_adjacency(self, triangle_graph):
+        csr = CSRGraph.from_graph(triangle_graph)
+        assert csr.nodes == tuple(triangle_graph.nodes)
+        assert csr.num_nodes == 3
+        assert csr.num_directed_edges == 6
+        for node in triangle_graph.nodes:
+            i = csr.index[node]
+            start, end = csr.indptr[i], csr.indptr[i + 1]
+            slice_view = {
+                csr.nodes[csr.indices[k]]: csr.weights[k] for k in range(start, end)
+            }
+            assert slice_view == dict(triangle_graph.incident_edges(node))
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_graph(WeightedGraph())
+        assert csr.num_nodes == 0
+        assert csr.indptr == [0]
+        assert csr.indices == []
+
+    def test_single_node(self):
+        csr = CSRGraph.from_graph(WeightedGraph(nodes=[42]))
+        assert csr.nodes == (42,)
+        assert csr.indptr == [0, 0]
+        assert csr.degree(0) == 0
+
+    def test_isolated_nodes_between_connected_ones(self):
+        graph = WeightedGraph(nodes=[0, 1, 2, 3])
+        graph.add_edge(0, 3, 5)
+        csr = CSRGraph.from_graph(graph)
+        assert csr.degree(csr.index[1]) == 0
+        assert csr.degree(csr.index[2]) == 0
+        assert csr.degree(csr.index[0]) == 1
+
+    def test_non_contiguous_labels(self):
+        graph = WeightedGraph()
+        graph.add_edge(10, 99, 7)
+        graph.add_edge(99, -5, 2)
+        csr = CSRGraph.from_graph(graph)
+        assert set(csr.nodes) == {10, 99, -5}
+        distances = dijkstra_csr(graph, 10)
+        assert distances == {10: 0, 99: 7, -5: 9}
+
+
+class TestCache:
+    def test_snapshot_is_cached(self, weighted_random_graph):
+        first = CSRGraph.from_graph(weighted_random_graph)
+        second = CSRGraph.from_graph(weighted_random_graph)
+        assert first is second
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda g: g.add_edge(0, 1, 17),
+            lambda g: g.add_node(10_000),
+            lambda g: g.remove_edge(*next(iter([(u, v) for u, v, _ in g.edges()]))),
+            lambda g: g.remove_node(next(iter(g.nodes))),
+        ],
+        ids=["add_edge", "add_node", "remove_edge", "remove_node"],
+    )
+    def test_every_mutation_invalidates(self, mutate):
+        graph = random_weighted_graph(12, average_degree=3.0, max_weight=9, seed=2)
+        before = CSRGraph.from_graph(graph)
+        mutate(graph)
+        after = CSRGraph.from_graph(graph)
+        assert after is not before
+
+    def test_distances_follow_mutation(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 4)
+        graph.add_edge(1, 2, 4)
+        assert dijkstra_csr(graph, 0)[2] == 8
+        graph.add_edge(0, 2, 3)
+        assert dijkstra_csr(graph, 0)[2] == 3
+        graph.remove_edge(0, 2)
+        assert dijkstra_csr(graph, 0)[2] == 8
+
+    def test_reduction_memo_follows_mutation(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 4)
+        graph.add_edge(1, 2, 4)
+        assert diameter_csr(graph) == 8
+        assert radius_csr(graph) == 4  # served from the memoised vector
+        graph.add_edge(0, 2, 1)
+        assert diameter_csr(graph) == 4
+        assert eccentricities_csr(graph) == {0: 4, 1: 4, 2: 4}
+
+    def test_copies_do_not_share_snapshots(self, triangle_graph):
+        original = CSRGraph.from_graph(triangle_graph)
+        clone = triangle_graph.copy()
+        assert CSRGraph.from_graph(clone) is not original
+
+
+class TestWithWeights:
+    def test_shares_topology(self, triangle_graph):
+        csr = CSRGraph.from_graph(triangle_graph)
+        doubled = csr.with_weights([w * 2 for w in csr.weights])
+        assert doubled.indptr is csr.indptr
+        assert doubled.indices is csr.indices
+        assert doubled.nodes is csr.nodes
+        assert doubled.weights == [w * 2 for w in csr.weights]
+        # Original snapshot untouched.
+        assert csr.weights != doubled.weights
+
+    def test_kernel_on_reweighted_snapshot(self, small_path):
+        csr = CSRGraph.from_graph(small_path)
+        unit = csr.with_weights([1] * len(csr.weights))
+        distances = dijkstra_csr(unit, 0)
+        assert distances == {i: i for i in range(5)}
+
+    def test_length_mismatch_rejected(self, triangle_graph):
+        csr = CSRGraph.from_graph(triangle_graph)
+        with pytest.raises(ValueError):
+            csr.with_weights([1, 2])

@@ -1,0 +1,146 @@
+"""Differential end-to-end tests: identical results on every kernel backend.
+
+The kernels accelerate the *sequential oracles* only; the simulated CONGEST
+executions -- and therefore every :class:`RoundReport` the benchmarks quote --
+must be bit-for-bit unaffected by the backend choice.  These tests run the
+Theorem 1.1 pipeline (``core.diameter_radius``) and the Algorithm 3 protocol
+(``nanongkai.multi_source``) to completion under each registered backend and
+assert identical outputs and identical round accounting.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+# The Theorem 1.1 pipeline (quantum layers) needs NumPy itself; without it
+# only the pure-Python backend exists and a backend diff is vacuous anyway.
+pytest.importorskip("numpy")
+
+from repro.congest import Network
+from repro.core.diameter_radius import (
+    quantum_weighted_diameter,
+    quantum_weighted_radius,
+)
+from repro.graphs import random_weighted_graph
+from repro.kernels import available_backends, force_backend
+from repro.nanongkai import (
+    bounded_hop_sssp_oracle,
+    bounded_hop_sssp_protocol,
+    multi_source_bounded_hop_oracle,
+    multi_source_bounded_hop_protocol,
+)
+
+pytestmark = pytest.mark.kernels
+
+
+@pytest.fixture(scope="module")
+def network() -> Network:
+    return Network(
+        random_weighted_graph(18, average_degree=3.0, max_weight=12, seed=11)
+    )
+
+
+def _assert_reports_equal(actual, expected):
+    assert actual.rounds == expected.rounds
+    assert actual.congested_rounds == expected.congested_rounds
+    assert actual.total_messages == expected.total_messages
+    assert actual.total_bits == expected.total_bits
+    assert actual.max_message_bits == expected.max_message_bits
+
+
+class TestDiameterRadiusEndToEnd:
+    @pytest.mark.parametrize("problem", ["diameter", "radius"])
+    def test_identical_outputs_and_round_reports(self, network, problem):
+        algorithm = (
+            quantum_weighted_diameter if problem == "diameter" else quantum_weighted_radius
+        )
+        results = {}
+        for backend in available_backends():
+            with force_backend(backend):
+                results[backend] = algorithm(network, seed=5)
+        baseline = results["python"]
+        assert baseline.within_guarantee
+        for backend, result in results.items():
+            assert result.value == baseline.value, backend
+            assert result.exact_value == baseline.exact_value, backend
+            assert result.chosen_set_index == baseline.chosen_set_index, backend
+            assert result.chosen_skeleton == baseline.chosen_skeleton, backend
+            assert result.chosen_source == baseline.chosen_source, backend
+            assert result.total_rounds == baseline.total_rounds, backend
+            _assert_reports_equal(result.report, baseline.report)
+            _assert_reports_equal(
+                result.inner_outcome.charge.as_report(),
+                baseline.inner_outcome.charge.as_report(),
+            )
+
+
+class TestMultiSourceEndToEnd:
+    def test_identical_tables_and_round_reports(self, network):
+        sources = [0, 4, 9]
+        hop_bound, epsilon, levels = 5, 0.5, 5
+        tables, reports = {}, {}
+        for backend in available_backends():
+            with force_backend(backend):
+                table, report = multi_source_bounded_hop_protocol(
+                    network, sources, hop_bound, epsilon, levels=levels, seed=3
+                )
+            tables[backend] = table
+            reports[backend] = report
+        baseline = tables["python"]
+        for backend in available_backends():
+            assert tables[backend] == baseline, backend
+            _assert_reports_equal(reports[backend], reports["python"])
+
+    def test_oracle_matches_protocol_on_every_backend(self, network):
+        sources = [1, 7]
+        hop_bound, epsilon, levels = 6, 0.5, 6
+        protocol_table, _ = multi_source_bounded_hop_protocol(
+            network, sources, hop_bound, epsilon, levels=levels, seed=1
+        )
+        for backend in available_backends():
+            with force_backend(backend):
+                oracle_table = multi_source_bounded_hop_oracle(
+                    network, sources, hop_bound, epsilon, levels=levels
+                )
+            for node in network.nodes:
+                for source in sources:
+                    protocol_value = protocol_table[node][source]
+                    oracle_value = oracle_table[node][source]
+                    if math.isinf(oracle_value):
+                        assert math.isinf(protocol_value), (backend, node, source)
+                    else:
+                        assert protocol_value == pytest.approx(oracle_value), (
+                            backend,
+                            node,
+                            source,
+                        )
+
+    def test_single_source_oracle_matches_protocol(self, network):
+        source, hop_bound, epsilon, levels = 0, 5, 0.5, 5
+        protocol_table, _ = bounded_hop_sssp_protocol(
+            network, source, hop_bound, epsilon, levels=levels
+        )
+        for backend in available_backends():
+            with force_backend(backend):
+                oracle_table = bounded_hop_sssp_oracle(
+                    network, source, hop_bound, epsilon, levels=levels
+                )
+            for node in network.nodes:
+                if math.isinf(oracle_table[node]):
+                    assert math.isinf(protocol_table[node]), (backend, node)
+                else:
+                    assert protocol_table[node] == pytest.approx(oracle_table[node])
+
+    def test_oracle_identical_across_backends(self, network):
+        sources = [2, 8, 13]
+        tables = {}
+        for backend in available_backends():
+            with force_backend(backend):
+                tables[backend] = multi_source_bounded_hop_oracle(
+                    network, sources, 4, 0.5, levels=5
+                )
+        baseline = tables["python"]
+        for backend, table in tables.items():
+            assert table == baseline, backend
