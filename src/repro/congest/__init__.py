@@ -12,7 +12,11 @@ This subpackage provides:
 * :class:`~repro.congest.algorithm.NodeAlgorithm` -- the per-node program
   interface (initialize / receive / send).
 * :class:`~repro.congest.simulator.Simulator` -- the synchronous round
-  scheduler with full round / message / bandwidth accounting.
+  scheduler with full round / message / bandwidth accounting.  It is a thin
+  facade over the pluggable execution engines in
+  :mod:`repro.congest.engine` (``sparse`` / ``dense`` / ``legacy``,
+  selected per run or via ``REPRO_ENGINE``); every engine produces
+  bit-identical round reports.
 * Building-block protocols used throughout the paper's constructions:
   broadcast, convergecast, BFS-tree construction and leader election in
   :mod:`repro.congest.primitives`.
@@ -26,6 +30,15 @@ from repro.congest.network import Network, CongestConfig
 from repro.congest.message import Message, message_size_bits, encode_value
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
 from repro.congest.simulator import Simulator, RoundReport, SimulationResult
+from repro.congest.engine import (
+    ENGINE_ENV_VAR,
+    ExecutionEngine,
+    MinPlusSchema,
+    available_engines,
+    force_engine,
+    get_engine,
+    register_engine,
+)
 from repro.congest.primitives import (
     build_bfs_tree,
     broadcast_from,
@@ -59,6 +72,13 @@ __all__ = [
     "Simulator",
     "RoundReport",
     "SimulationResult",
+    "ENGINE_ENV_VAR",
+    "ExecutionEngine",
+    "MinPlusSchema",
+    "available_engines",
+    "force_engine",
+    "get_engine",
+    "register_engine",
     "build_bfs_tree",
     "broadcast_from",
     "convergecast_max",

@@ -115,13 +115,33 @@ class NodeAlgorithm:
     #: Human-readable protocol name used in round reports.
     name: str = "node-algorithm"
 
+    def message_schema(self) -> Optional[Any]:
+        """Declare a structured numeric message schema, if the protocol has one.
+
+        Returning a :class:`repro.congest.engine.schema.MinPlusSchema`
+        makes the protocol eligible for the vectorized ``dense`` execution
+        engine, which runs whole rounds as scatter/reduce over the network's
+        CSR adjacency instead of interpreting ``receive`` per node.  The
+        schema must describe the protocol *exactly* -- the engines are
+        required to produce bit-identical round reports -- so only declare
+        one when every message the protocol sends fits the schema's shape.
+        The default ``None`` keeps the protocol on the general engines.
+        """
+        return None
+
     def initialize(self, ctx: NodeContext) -> None:
         """Set up local state; may queue messages for round 1."""
 
     def receive(
         self, ctx: NodeContext, round_number: int, messages: List[Message]
     ) -> None:
-        """Process the messages delivered this round; may queue messages and halt."""
+        """Process the messages delivered this round; may queue messages and halt.
+
+        ``messages`` is only valid for the duration of the call: the engines
+        may pool and reuse the inbox list across rounds, so a node program
+        that wants to keep messages around must copy them
+        (``list(messages)``), never store the list itself.
+        """
         raise NotImplementedError
 
     def output(self, ctx: NodeContext) -> Optional[Any]:

@@ -1,0 +1,47 @@
+"""Pluggable execution engines for the CONGEST simulator.
+
+See :mod:`repro.congest.engine.base` for the registry contract and
+:mod:`repro.congest.engine.schema` for the message-schema hook that makes a
+protocol eligible for the vectorized ``dense`` engine.  Importing this
+package registers the bundled engines (``sparse``, ``legacy``, and --
+when NumPy is importable -- ``dense``).
+"""
+
+from repro.congest.engine.types import (
+    RoundLimitExceeded,
+    RoundReport,
+    SimulationResult,
+)
+from repro.congest.engine.base import (
+    ENGINE_ENV_VAR,
+    ExecutionEngine,
+    available_engines,
+    force_engine,
+    get_engine,
+    register_engine,
+    resolve_engine,
+)
+from repro.congest.engine.schema import MinPlusSchema
+
+# Engine registration happens at import time, mirroring the kernel backends.
+from repro.congest.engine import sparse as _sparse  # noqa: F401  (registers)
+from repro.congest.engine import legacy as _legacy  # noqa: F401  (registers)
+
+try:  # The dense engine needs NumPy; everything else must work without it.
+    from repro.congest.engine import dense as _dense  # noqa: F401  (registers)
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    pass
+
+__all__ = [
+    "RoundLimitExceeded",
+    "RoundReport",
+    "SimulationResult",
+    "ENGINE_ENV_VAR",
+    "ExecutionEngine",
+    "available_engines",
+    "force_engine",
+    "get_engine",
+    "register_engine",
+    "resolve_engine",
+    "MinPlusSchema",
+]

@@ -1,0 +1,176 @@
+"""Execution-engine registry for the CONGEST simulator.
+
+Mirrors the kernel backend registry (:mod:`repro.kernels.backend`): engines
+register themselves under a name, and :class:`~repro.congest.simulator.Simulator`
+resolves one per run.  Three engines ship with the library:
+
+* ``"sparse"`` -- the default event-driven scheduler: same semantics as the
+  seed loop, but with an active-node set instead of full halted scans, pooled
+  inboxes, enqueue-time message sizing and single-pass edge-charge accounting.
+* ``"dense"`` -- a NumPy engine (registered only when NumPy is importable)
+  that executes whole rounds as vectorized scatter/reduce over the network's
+  CSR adjacency.  Only algorithms that declare a structured numeric message
+  schema (:meth:`NodeAlgorithm.message_schema`) are eligible.
+* ``"legacy"`` -- the seed scheduler loop, kept verbatim as the pinned
+  reference the benchmarks and differential tests compare against.
+
+Selection order (first match wins):
+
+1. an explicit ``engine=`` argument on :meth:`Simulator.run`,
+2. a :func:`force_engine` override (used by the differential tests and the
+   engine benchmarks),
+3. the ``REPRO_ENGINE`` environment variable (``sparse``, ``dense``,
+   ``legacy`` or ``auto``),
+4. ``auto``: ``dense`` when the run is dense-eligible, otherwise ``sparse``.
+
+A forced or environment-selected engine that cannot execute a particular run
+(e.g. ``dense`` for an algorithm without a message schema) falls back to
+``sparse``; only an *explicit* ``engine=`` argument raises instead, so tests
+can assert eligibility.  Every engine must produce bit-identical
+:class:`~repro.congest.engine.types.RoundReport` numbers and identical
+outputs -- the paper's round-complexity claims depend on it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine.types import SimulationResult
+from repro.congest.network import Network
+
+__all__ = [
+    "ExecutionEngine",
+    "register_engine",
+    "available_engines",
+    "get_engine",
+    "resolve_engine",
+    "force_engine",
+    "ENGINE_ENV_VAR",
+]
+
+#: Environment variable consulted when no explicit engine is requested.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Engine every ineligible run falls back to (must support every run).
+_FALLBACK = "sparse"
+
+#: Bundled engines that may legitimately be absent (missing optional
+#: dependency).  An *environment* preference (``REPRO_ENGINE``) for one of
+#: these falls back to ``sparse`` instead of raising, so e.g. a blanket
+#: ``REPRO_ENGINE=dense`` keeps working on a NumPy-free machine; a name
+#: outside this set that is not registered is a typo and still raises.
+#: Programmatic selection -- ``force_engine(...)`` or an explicit
+#: ``engine=`` argument -- validates eagerly and raises for absent engines,
+#: since code naming an engine should fail loudly, not silently degrade.
+_OPTIONAL_ENGINES = frozenset({"dense"})
+
+_REGISTRY: Dict[str, "ExecutionEngine"] = {}
+_FORCED: Optional[str] = None
+
+
+class ExecutionEngine:
+    """Interface every CONGEST execution engine implements."""
+
+    name: str = "abstract"
+
+    def supports(
+        self,
+        network: Network,
+        algorithm: NodeAlgorithm,
+        initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
+    ) -> bool:
+        """Whether this engine can execute the given run faithfully."""
+        return True
+
+    def run(
+        self,
+        network: Network,
+        algorithm: NodeAlgorithm,
+        max_rounds: int,
+        initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
+        halt_on_quiescence: bool = False,
+        observer: Optional[Any] = None,
+    ) -> SimulationResult:
+        """Execute ``algorithm`` on ``network`` until every node halts."""
+        raise NotImplementedError
+
+
+def register_engine(engine: ExecutionEngine) -> None:
+    """Register ``engine`` under ``engine.name`` (overwriting any previous)."""
+    _REGISTRY[engine.name] = engine
+
+
+def available_engines() -> List[str]:
+    """Names of all registered engines (always includes ``"sparse"``)."""
+    return sorted(_REGISTRY)
+
+
+def get_engine(name: str) -> ExecutionEngine:
+    """Return the engine registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution engine {name!r}; available: {available_engines()}"
+        ) from None
+
+
+def resolve_engine(
+    name: Optional[str],
+    network: Network,
+    algorithm: NodeAlgorithm,
+    initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
+) -> ExecutionEngine:
+    """Select the engine for one run (explicit > forced > env > auto).
+
+    ``name=None`` consults the override/environment; ``"auto"`` prefers the
+    fastest eligible engine.  An explicitly named engine that cannot execute
+    the run raises; a forced/environment preference silently falls back to
+    the ``sparse`` engine, so a blanket ``REPRO_ENGINE=dense`` accelerates
+    the eligible protocols without breaking the rest.
+    """
+    explicit = name is not None
+    if name is None:
+        name = _FORCED
+    if name is None:
+        name = os.environ.get(ENGINE_ENV_VAR, "auto").strip().lower() or "auto"
+    if name == "auto":
+        for preferred in ("dense",):
+            engine = _REGISTRY.get(preferred)
+            if engine is not None and engine.supports(
+                network, algorithm, initial_memory
+            ):
+                return engine
+        return _REGISTRY[_FALLBACK]
+    if not explicit and name in _OPTIONAL_ENGINES and name not in _REGISTRY:
+        return _REGISTRY[_FALLBACK]
+    engine = get_engine(name)
+    if engine.supports(network, algorithm, initial_memory):
+        return engine
+    if explicit:
+        raise ValueError(
+            f"engine {engine.name!r} cannot execute protocol "
+            f"'{algorithm.name}' (no structured message schema, or an "
+            f"unsupported run configuration)"
+        )
+    return _REGISTRY[_FALLBACK]
+
+
+@contextlib.contextmanager
+def force_engine(name: str) -> Iterator[ExecutionEngine]:
+    """Context manager pinning the process-wide engine preference.
+
+    The pinned engine is still subject to per-run eligibility: runs it cannot
+    execute fall back to ``sparse`` (see :func:`resolve_engine`).
+    """
+    global _FORCED
+    engine = get_engine(name)  # validate eagerly
+    previous = _FORCED
+    _FORCED = engine.name
+    try:
+        yield engine
+    finally:
+        _FORCED = previous

@@ -1,0 +1,308 @@
+"""The dense NumPy engine: whole rounds as vectorized scatter/reduce.
+
+Eligible protocols declare a :class:`MinPlusSchema`
+(:meth:`NodeAlgorithm.message_schema`); for those the engine never creates a
+single :class:`Message` object (unless an observer needs them).  Per round it
+
+1. charges the in-flight broadcasts analytically -- each sender's per-edge
+   bit load is the sum of its improved entries' exact
+   :func:`~repro.congest.message.encode_value` sizes, computed with a
+   vectorized (and exact) ``int.bit_length``;
+2. relaxes all deliveries at once with a masked gather over the network's
+   CSR adjacency (the PR 1 kernel snapshot) and a ``minimum.reduceat`` per
+   receiver -- the scatter/reduce formulation of the synchronous min-plus
+   round;
+3. re-broadcasts exactly the strictly improved entries, mirroring the node
+   programs' "announce on improvement" rule.
+
+The result -- outputs, contexts and the :class:`RoundReport` -- is
+bit-identical to executing the node program on the sparse/legacy engines;
+``tests/congest/test_engine_differential.py`` enforces this across random,
+star/path and single-node networks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.engine.base import ExecutionEngine, register_engine
+from repro.congest.engine.schema import MinPlusSchema
+from repro.congest.engine.types import (
+    RoundLimitExceeded,
+    RoundReport,
+    SimulationResult,
+)
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.kernels.csr import CSRGraph
+
+__all__ = ["DenseEngine"]
+
+#: Largest magnitude float64 carries exactly; values at or beyond this would
+#: make the vectorized relaxation diverge from the exact-int engines.
+_EXACT_FLOAT_LIMIT = 2**53
+
+
+def _bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Exact ``int.bit_length`` of a non-negative int64 array.
+
+    ``floor(log2(v)) + 1`` can be off by one where float rounding crosses a
+    power of two, so the estimate is corrected with exact integer shifts.
+    """
+    v = values
+    with np.errstate(divide="ignore"):
+        est = np.where(
+            v > 0, np.floor(np.log2(np.maximum(v, 1))).astype(np.int64) + 1, 0
+        )
+    est = np.where((v >> np.minimum(est, 62)) > 0, est + 1, est)
+    est = np.where((est > 1) & ((v >> np.maximum(est - 1, 0)) == 0), est - 1, est)
+    return est
+
+
+class DenseEngine(ExecutionEngine):
+    """Vectorized executor for min-plus flooding protocols."""
+
+    name = "dense"
+
+    def supports(
+        self,
+        network: Network,
+        algorithm: NodeAlgorithm,
+        initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
+    ) -> bool:
+        if initial_memory:
+            # Pre-loaded memory feeds arbitrary node-program state the schema
+            # cannot express; such runs stay on the sparse engine.
+            return False
+        schema = algorithm.message_schema()
+        if not isinstance(schema, MinPlusSchema):
+            return False
+        # Every state value must stay exactly representable in float64, or
+        # the relaxation sums would silently diverge from the exact-int
+        # engines.  Conservative bound for the bundled schemas (whose initial
+        # values are 0 or node ids): the largest id magnitude plus the
+        # longest possible relaxation chain.  Runs that could cross 2^53 fall
+        # back to the sparse engine; the run loop additionally guards every
+        # scheduled payload, so a custom schema with larger initial values
+        # fails loudly instead of drifting.
+        bound = max((abs(node) for node in network.nodes), default=0)
+        if schema.add_edge_weight and network.num_nodes > 1:
+            bound += network.num_nodes * network.max_weight()
+        return bound < _EXACT_FLOAT_LIMIT
+
+    def run(
+        self,
+        network: Network,
+        algorithm: NodeAlgorithm,
+        max_rounds: int,
+        initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
+        halt_on_quiescence: bool = False,
+        observer: Optional[Any] = None,
+    ) -> SimulationResult:
+        # Validate against the schema object actually executed (supports()
+        # already ran in resolve_engine, but on its own schema fetch); the
+        # in-run exactness guard below covers the 2^53 bound.
+        schema = algorithm.message_schema()
+        if initial_memory or not isinstance(schema, MinPlusSchema):
+            raise ValueError(
+                f"dense engine cannot execute protocol '{algorithm.name}'"
+            )
+
+        nodes = list(network.nodes)
+        n = len(nodes)
+        k = schema.num_columns
+        bandwidth = network.bandwidth_bits
+        strict = network.config.strict_bandwidth
+        budget = schema.round_budget
+
+        csr = CSRGraph.from_graph(network.graph)
+        indptr, indices, weights = csr.numpy_arrays()
+        degrees = np.diff(indptr)
+        has_neighbors = (degrees > 0)[:, None]
+
+        # Per-column constant part of one message's charged size: label,
+        # optional key label, tuple overhead and tag.
+        word_bits = network.word_bits
+        overhead = np.array(
+            [schema.payload_overhead_bits(j, word_bits) for j in range(k)],
+            dtype=np.int64,
+        ).reshape(1, k)
+
+        dist = np.empty((n, k), dtype=np.float64)
+        for i, node in enumerate(nodes):
+            row = schema.initial(node)
+            if len(row) != k:
+                raise ValueError(
+                    f"schema initial() returned {len(row)} values, expected {k}"
+                )
+            dist[i] = row
+
+        if schema.send_initial == "all":
+            sent = np.ones((n, k), dtype=bool)
+        elif schema.send_initial == "finite":
+            sent = np.isfinite(dist)
+        elif schema.send_initial == "none":
+            sent = np.zeros((n, k), dtype=bool)
+        else:
+            raise ValueError(f"unknown send_initial mode {schema.send_initial!r}")
+        sent &= has_neighbors  # broadcasting over zero neighbors sends nothing
+
+        report = RoundReport(protocol=algorithm.name)
+        round_number = 0
+        halted = False
+
+        while not halted:
+            round_number += 1
+            if round_number > max_rounds:
+                raise RoundLimitExceeded(
+                    f"protocol '{algorithm.name}' exceeded {max_rounds} rounds"
+                )
+
+            any_sent = bool(sent.any())
+
+            # --- Accounting (analytic: one broadcast = degree copies) ------ #
+            max_edge_charge = 1
+            if any_sent:
+                values = np.where(sent, dist, 0.0)
+                if (
+                    not np.isfinite(values).all()
+                    or np.abs(values).max() >= _EXACT_FLOAT_LIMIT
+                ):
+                    raise RuntimeError(
+                        "dense engine scheduled a non-finite or non-exact "
+                        "payload; the message schema must only flood finite "
+                        f"integers of magnitude below 2**53 "
+                        f"(protocol '{algorithm.name}')"
+                    )
+                ivalues = values.astype(np.int64)
+                # encode_value charges an integer bit_length(|v|) + 1 (sign
+                # bit), minimum 1 -- negative ids (min-id flood) included.
+                magnitudes = np.abs(ivalues)
+                vbits = np.where(magnitudes > 0, _bit_lengths(magnitudes) + 1, 1)
+                msg_bits = np.where(sent, overhead + vbits, 0)
+                per_sender_bits = msg_bits.sum(axis=1)
+                per_sender_msgs = sent.sum(axis=1)
+                report.total_messages += int((per_sender_msgs * degrees).sum())
+                report.total_bits += int((per_sender_bits * degrees).sum())
+                report.max_message_bits = max(
+                    report.max_message_bits, int(msg_bits.max())
+                )
+                over = per_sender_bits > bandwidth
+                if over.any():
+                    if strict:
+                        first = int(per_sender_bits[np.argmax(over)])
+                        raise ValueError(
+                            f"protocol '{algorithm.name}' exceeded the "
+                            f"bandwidth: {first} bits on one edge in one "
+                            f"round (B={bandwidth})"
+                        )
+                    max_edge_charge = int(
+                        np.ceil(per_sender_bits[over] / bandwidth).max()
+                    )
+            report.rounds += 1
+            report.congested_rounds += max_edge_charge
+
+            if observer is not None:
+                observer(round_number, self._materialize(schema, nodes, csr, dist, sent))
+
+            # --- Deliver and relax: masked gather + minimum.reduceat ------- #
+            if any_sent:
+                masked = np.where(sent, dist, np.inf)
+                contributions = masked[indices]
+                if schema.add_edge_weight:
+                    contributions = contributions + weights[:, None]
+                candidates = np.minimum.reduceat(contributions, indptr[:-1], axis=0)
+                new_dist = np.minimum(dist, candidates)
+                improved = new_dist < dist
+                dist = new_dist
+            else:
+                improved = np.zeros((n, k), dtype=bool)
+
+            # --- Halt / schedule, mirroring the node program's receive ----- #
+            if budget is not None and round_number >= budget:
+                halted = True
+                sent = np.zeros((n, k), dtype=bool)
+            else:
+                sent = improved & has_neighbors
+
+            if not halted and not sent.any():
+                if halt_on_quiescence:
+                    halted = True
+                elif budget is not None:
+                    # Nothing in flight and nothing will ever be: the nodes
+                    # idle (one charged round each) until the budget round
+                    # halts them.
+                    while round_number < budget:
+                        round_number += 1
+                        if round_number > max_rounds:
+                            raise RoundLimitExceeded(
+                                f"protocol '{algorithm.name}' exceeded "
+                                f"{max_rounds} rounds"
+                            )
+                        report.rounds += 1
+                        report.congested_rounds += 1
+                        if observer is not None:
+                            observer(round_number, [])
+                    halted = True
+                else:
+                    # No budget and no quiescence halting: the protocol can
+                    # never terminate.  Replay the idle rounds for a
+                    # round-counting observer, then fail like the other
+                    # engines do.
+                    if observer is not None:
+                        while round_number < max_rounds:
+                            round_number += 1
+                            report.rounds += 1
+                            report.congested_rounds += 1
+                            observer(round_number, [])
+                    raise RoundLimitExceeded(
+                        f"protocol '{algorithm.name}' exceeded {max_rounds} rounds"
+                    )
+
+        contexts: Dict[int, NodeContext] = {}
+        for i, node in enumerate(nodes):
+            ctx = NodeContext(node=node, network=network)
+            ctx.memory.update(schema.finalize(node, dist[i]))
+            ctx._halted = True
+            contexts[node] = ctx
+        outputs = {node: algorithm.output(contexts[node]) for node in nodes}
+        return SimulationResult(outputs=outputs, report=report, contexts=contexts)
+
+    @staticmethod
+    def _materialize(
+        schema: MinPlusSchema,
+        nodes: List[int],
+        csr: CSRGraph,
+        dist: np.ndarray,
+        sent: np.ndarray,
+    ) -> List[Message]:
+        """Build the round's Message objects for an observer (slow path).
+
+        Message *multiset* equals the sparse/legacy delivery; the within-round
+        ordering is sender-major but may interleave keys differently.
+        """
+        delivered: List[Message] = []
+        indptr, indices = csr.indptr, csr.indices
+        for i in np.nonzero(sent.any(axis=1))[0]:
+            sender = nodes[i]
+            neighbor_labels = [
+                nodes[indices[e]] for e in range(indptr[i], indptr[i + 1])
+            ]
+            for j in np.nonzero(sent[i])[0]:
+                payload = schema.payload_for(int(j), float(dist[i, j]))
+                for receiver in neighbor_labels:
+                    delivered.append(
+                        Message(
+                            sender=sender,
+                            receiver=receiver,
+                            payload=payload,
+                            tag=schema.tag,
+                        )
+                    )
+        return delivered
+
+
+register_engine(DenseEngine())

@@ -1,0 +1,119 @@
+"""The seed scheduler loop, pinned as the reference engine.
+
+This is the original ``Simulator.run`` body from before the engine refactor,
+kept byte-for-byte in behaviour: it re-encodes every message's bit size at
+delivery, rebuilds per-node inbox dicts every round and scans all contexts
+for halting.  It exists as the ground truth the differential tests compare
+the optimized engines against, and as the baseline the simulator benchmarks
+measure speedups over.  Do not optimize it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.engine.base import ExecutionEngine, register_engine
+from repro.congest.engine.types import (
+    RoundLimitExceeded,
+    RoundReport,
+    SimulationResult,
+)
+from repro.congest.message import Message
+from repro.congest.network import Network
+
+__all__ = ["LegacyEngine"]
+
+
+class LegacyEngine(ExecutionEngine):
+    """Synchronous executor preserving the seed loop exactly."""
+
+    name = "legacy"
+
+    def run(
+        self,
+        network: Network,
+        algorithm: NodeAlgorithm,
+        max_rounds: int,
+        initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
+        halt_on_quiescence: bool = False,
+        observer: Optional[Any] = None,
+    ) -> SimulationResult:
+        bandwidth = network.bandwidth_bits
+        word_bits = network.word_bits
+
+        contexts: Dict[int, NodeContext] = {
+            node: NodeContext(node=node, network=network) for node in network.nodes
+        }
+        if initial_memory:
+            for node, memory in initial_memory.items():
+                contexts[node].memory.update(memory)
+
+        report = RoundReport(protocol=algorithm.name)
+
+        for node in network.nodes:
+            algorithm.initialize(contexts[node])
+
+        # Collect messages queued during initialization (delivered in round 1).
+        in_flight: List[Message] = []
+        for node in network.nodes:
+            in_flight.extend(contexts[node]._drain_outbox())
+
+        round_number = 0
+        while True:
+            if all(ctx.halted for ctx in contexts.values()):
+                break
+            round_number += 1
+            if round_number > max_rounds:
+                raise RoundLimitExceeded(
+                    f"protocol '{algorithm.name}' exceeded {max_rounds} rounds"
+                )
+
+            # --- Accounting for the messages delivered this round ---------- #
+            max_edge_charge = 1
+            edge_bits: Dict[tuple, int] = {}
+            for message in in_flight:
+                bits = message.size_bits(word_bits=word_bits)
+                report.total_messages += 1
+                report.total_bits += bits
+                report.max_message_bits = max(report.max_message_bits, bits)
+                key = (message.sender, message.receiver)
+                edge_bits[key] = edge_bits.get(key, 0) + bits
+            for bits in edge_bits.values():
+                charge = max(1, math.ceil(bits / bandwidth))
+                if charge > 1 and network.config.strict_bandwidth:
+                    raise ValueError(
+                        f"protocol '{algorithm.name}' exceeded the bandwidth: "
+                        f"{bits} bits on one edge in one round (B={bandwidth})"
+                    )
+                max_edge_charge = max(max_edge_charge, charge)
+            report.rounds += 1
+            report.congested_rounds += max_edge_charge
+
+            if observer is not None:
+                observer(round_number, list(in_flight))
+
+            # --- Deliver and schedule -------------------------------------- #
+            inboxes: Dict[int, List[Message]] = {node: [] for node in network.nodes}
+            for message in in_flight:
+                inboxes[message.receiver].append(message)
+            in_flight = []
+
+            for node in network.nodes:
+                ctx = contexts[node]
+                if ctx.halted:
+                    continue
+                algorithm.receive(ctx, round_number, inboxes[node])
+            for node in network.nodes:
+                in_flight.extend(contexts[node]._drain_outbox())
+
+            if halt_on_quiescence and not in_flight:
+                for ctx in contexts.values():
+                    ctx.halt()
+
+        outputs = {node: algorithm.output(contexts[node]) for node in network.nodes}
+        return SimulationResult(outputs=outputs, report=report, contexts=contexts)
+
+
+register_engine(LegacyEngine())

@@ -1,0 +1,108 @@
+"""Structured message schemas: the contract between algorithms and ``dense``.
+
+The dense engine cannot run arbitrary Python node programs -- it executes
+whole rounds as vectorized scatter/reduce over the network's CSR adjacency.
+What it *can* run is the min-plus flooding family that dominates the
+classical baselines of the paper (Table 1/2): every node keeps one
+monotonically non-increasing numeric value per key (a source, or a single
+anonymous slot), every delivered value is relaxed through
+``min(current, received [+ edge weight])``, and exactly the strictly
+improved entries are re-broadcast next round, as payload tuples
+``(label, key, value)`` (or ``(label, value)`` for single-slot protocols).
+
+A :class:`~repro.congest.algorithm.NodeAlgorithm` opts in by returning a
+:class:`MinPlusSchema` from :meth:`message_schema`; Bellman-Ford SSSP/APSP
+(and hence unweighted BFS flooding) in :mod:`repro.congest.sssp` and the
+min-id leader-election flood in :mod:`repro.congest.primitives` do.  The
+schema is purely declarative -- the sparse/legacy engines ignore it, and the
+differential tests assert that the dense execution of a schema is
+bit-identical to running the node program itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.congest.message import encode_value, message_size_bits
+
+__all__ = ["MinPlusSchema"]
+
+
+@dataclass(frozen=True)
+class MinPlusSchema:
+    """Declarative description of a min-plus flooding protocol.
+
+    Attributes
+    ----------
+    label:
+        Constant string marker carried as ``payload[0]`` of every message.
+    tag:
+        Protocol tag on every message (charged at 8 bits when non-empty).
+    keys:
+        Key labels, one per state column; when not ``None`` the key label is
+        carried as ``payload[1]`` and the value as ``payload[2]``.  ``None``
+        declares a single anonymous column with 2-tuple ``(label, value)``
+        payloads (e.g. the min-id flood).
+    initial:
+        ``initial(node) -> row`` of per-key starting values for ``node``
+        (``math.inf`` for "unknown"); all finite values the protocol ever
+        floods must be integers of magnitude below ``2**53`` (exact in
+        float64), as produced by the paper's positive-integer weights and
+        node ids -- the dense engine refuses or aborts otherwise.
+    send_initial:
+        Which initial entries are broadcast during ``initialize``:
+        ``"finite"`` (every finite entry, e.g. each source announces itself),
+        ``"all"`` or ``"none"``.
+    add_edge_weight:
+        When ``True`` a received value is relaxed as ``value + w(u, v)``
+        (Bellman-Ford); when ``False`` the value floods unchanged (min-id).
+    round_budget:
+        When set, every node halts -- after applying the round's relaxations
+        but *without* re-broadcasting -- in the first round whose number
+        reaches the budget (the ``max_hops`` / flood-budget pattern).
+    finalize:
+        ``finalize(node, row) -> memory`` rebuilding the per-node memory dict
+        exactly as the node program would have left it, so
+        :meth:`NodeAlgorithm.output` and ``SimulationResult.contexts`` are
+        engine-independent.
+    """
+
+    label: str
+    tag: str
+    keys: Optional[Tuple[Any, ...]]
+    initial: Callable[[int], Sequence[float]]
+    finalize: Callable[[int, Sequence[float]], Dict[str, Any]]
+    send_initial: str = "finite"
+    add_edge_weight: bool = True
+    round_budget: Optional[int] = None
+
+    @property
+    def num_columns(self) -> int:
+        """Number of state columns per node."""
+        return 1 if self.keys is None else len(self.keys)
+
+    def payload_overhead_bits(self, key_index: int, word_bits: int = 32) -> int:
+        """Charged bits of one message minus the value's own encoding.
+
+        Derived by sizing an actual payload through
+        :func:`repro.congest.message.message_size_bits` and subtracting the
+        probe value's own charge, so :func:`encode_value` stays the single
+        source of truth -- label/tuple/tag charging rules can change there
+        without desynchronizing the dense engine's analytic accounting.
+        ``word_bits`` must be the network's word size: key labels are
+        charged through ``encode_value`` too, and non-integer keys (allowed
+        for custom schemas) are word-sized.
+        """
+        probe = 0
+        return message_size_bits(
+            self.payload_for(key_index, probe), tag=self.tag, word_bits=word_bits
+        ) - encode_value(probe, word_bits)
+
+    def payload_for(self, key_index: int, value: float) -> Tuple[Any, ...]:
+        """The exact payload tuple the node program would have sent."""
+        encoded = int(value) if value != math.inf else value
+        if self.keys is None:
+            return (self.label, encoded)
+        return (self.label, self.keys[key_index], encoded)

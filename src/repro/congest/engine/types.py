@@ -1,0 +1,136 @@
+"""Result types shared by every CONGEST execution engine.
+
+These used to live in :mod:`repro.congest.simulator`; they moved here when
+the simulator grew pluggable engines so that engine implementations can
+import them without importing the facade.  The facade re-exports them, so
+``from repro.congest.simulator import RoundReport`` keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.congest.algorithm import NodeContext
+
+__all__ = ["RoundReport", "SimulationResult", "RoundLimitExceeded"]
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """``a == b`` coerced to a plain bool.
+
+    Outputs are arbitrary protocol values; some (numpy arrays) overload
+    ``__eq__`` element-wise, where boolean coercion -- or the comparison
+    itself, e.g. on mismatched shapes -- raises.  Such values count as equal
+    only when the comparison succeeds and every element agrees; a raising
+    comparison is a disagreement, never an escaping error.
+    """
+    try:
+        result = a == b
+    except Exception:
+        return False
+    if isinstance(result, bool):
+        return result
+    try:
+        return bool(result)
+    except (TypeError, ValueError):
+        all_equal = getattr(result, "all", None)
+        if all_equal is None:
+            return False
+        try:
+            return bool(all_equal())
+        except Exception:
+            return False
+
+
+class RoundLimitExceeded(RuntimeError):
+    """Raised when a protocol does not terminate within the round limit."""
+
+
+@dataclass
+class RoundReport:
+    """Accounting of a single protocol execution.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds executed (messages delivered).
+    congested_rounds:
+        Round count adjusted for bandwidth: each round is charged
+        ``max_edge ceil(bits / B)`` sub-rounds (at least 1 if any message was
+        sent, and 1 for an idle round that still advanced the clock).
+    total_messages:
+        Total number of messages delivered over the whole execution.
+    total_bits:
+        Total number of payload bits delivered.
+    max_message_bits:
+        Largest single message observed.
+    protocol:
+        Name of the protocol that produced this report.
+
+    Every execution engine must produce *bit-identical* reports for the same
+    protocol on the same network -- the differential tests in
+    ``tests/congest/test_engine_differential.py`` enforce this, because all
+    round-complexity numbers quoted in the benchmarks are read off these
+    reports.
+    """
+
+    rounds: int = 0
+    congested_rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    protocol: str = ""
+
+    def merge_sequential(self, other: "RoundReport") -> "RoundReport":
+        """Combine with a report of a protocol run *after* this one."""
+        return RoundReport(
+            rounds=self.rounds + other.rounds,
+            congested_rounds=self.congested_rounds + other.congested_rounds,
+            total_messages=self.total_messages + other.total_messages,
+            total_bits=self.total_bits + other.total_bits,
+            max_message_bits=max(self.max_message_bits, other.max_message_bits),
+            protocol=f"{self.protocol}+{other.protocol}" if self.protocol else other.protocol,
+        )
+
+    @staticmethod
+    def sequential(reports: List["RoundReport"]) -> "RoundReport":
+        """Combine a list of reports run one after another."""
+        combined = RoundReport()
+        for report in reports:
+            combined = combined.merge_sequential(report)
+        return combined
+
+
+@dataclass
+class SimulationResult:
+    """Outputs of all nodes plus the execution's round report."""
+
+    outputs: Dict[int, Any]
+    report: RoundReport
+    contexts: Dict[int, NodeContext] = field(default_factory=dict)
+
+    def output_of(self, node: int) -> Any:
+        """Convenience accessor for a single node's output."""
+        return self.outputs[node]
+
+    def unique_output(self) -> Any:
+        """Return the common output when all nodes agree; raise otherwise.
+
+        Matches the paper's success criterion: "we say an algorithm computes
+        the diameter/radius if all nodes output the correct answer".
+
+        Agreement is decided by *equality* of the outputs, not by their
+        ``repr``: two distinct values can share a repr (two objects whose
+        ``__repr__`` collide) and equal values can have distinct reprs
+        (``1`` vs ``True``), so deduplicating on ``repr`` mis-groups both.
+        """
+        distinct: List[Any] = []
+        for value in self.outputs.values():
+            if not any(_values_equal(value, seen) for seen in distinct):
+                distinct.append(value)
+        if len(distinct) != 1:
+            raise ValueError(
+                f"nodes disagree on the output ({len(distinct)} distinct values)"
+            )
+        return distinct[0]

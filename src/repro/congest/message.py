@@ -82,8 +82,26 @@ class Message:
     tag: str = ""
 
     def size_bits(self, word_bits: int = 32) -> int:
-        """Total charged size of the message in bits."""
-        return message_size_bits(self.payload, tag=self.tag, word_bits=word_bits)
+        """Total charged size of the message in bits (memoized).
+
+        The first call per ``word_bits`` walks the payload through
+        :func:`encode_value` (the single source of truth for bandwidth
+        charging); the result is cached on the instance so repeated
+        accounting -- engine charging, observers, the Server-model replay --
+        never re-walks a nested payload.  The dataclass is frozen, so the
+        cache is attached via ``object.__setattr__``; payloads are treated
+        as immutable once a message is enqueued, which the CONGEST model
+        requires anyway (a sent message cannot be edited in flight).
+        """
+        cache = self.__dict__.get("_size_bits_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_size_bits_cache", cache)
+        bits = cache.get(word_bits)
+        if bits is None:
+            bits = message_size_bits(self.payload, tag=self.tag, word_bits=word_bits)
+            cache[word_bits] = bits
+        return bits
 
 
 def message_size_bits(payload: Any, tag: str = "", word_bits: int = 32) -> int:

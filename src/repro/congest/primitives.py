@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.engine.schema import MinPlusSchema
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.simulator import RoundReport, SimulationResult, Simulator
@@ -473,6 +474,20 @@ class _MinIdFloodAlgorithm(NodeAlgorithm):
 
     def __init__(self, round_budget: int) -> None:
         self._round_budget = round_budget
+
+    def message_schema(self) -> MinPlusSchema:
+        # A single anonymous min column seeded with each node's own id,
+        # flooded unchanged ("min", id) until the round budget halts everyone.
+        return MinPlusSchema(
+            label="min",
+            tag="lead",
+            keys=None,
+            initial=lambda node: [node],
+            send_initial="all",
+            add_edge_weight=False,
+            round_budget=self._round_budget,
+            finalize=lambda node, row: {"best": int(row[0])},
+        )
 
     def initialize(self, ctx: NodeContext) -> None:
         ctx.memory["best"] = ctx.node

@@ -18,98 +18,32 @@ identical plain and adjusted counts; a protocol that ships a larger payload in
 one "round" is automatically charged the rounds it would need to pipeline that
 payload.  All round-complexity numbers quoted in the benchmarks are the
 congestion-adjusted counts.
+
+Since the engine refactor, :class:`Simulator` is a thin facade: the actual
+round loop lives in one of the pluggable execution engines under
+:mod:`repro.congest.engine` (``sparse`` by default, the vectorized ``dense``
+engine for protocols with a structured message schema, and the pinned
+``legacy`` seed loop).  Every engine produces bit-identical
+:class:`RoundReport` numbers and identical outputs, so which engine runs is
+purely a performance decision -- overridable per call (``engine=``), per
+process (:func:`repro.congest.engine.force_engine`) or per environment
+(``REPRO_ENGINE``).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
-from repro.congest.algorithm import NodeAlgorithm, NodeContext
-from repro.congest.message import Message
+from repro.congest.algorithm import NodeAlgorithm
+from repro.congest.engine import resolve_engine
+from repro.congest.engine.types import (
+    RoundLimitExceeded,
+    RoundReport,
+    SimulationResult,
+)
 from repro.congest.network import Network
 
 __all__ = ["RoundReport", "SimulationResult", "Simulator", "RoundLimitExceeded"]
-
-
-class RoundLimitExceeded(RuntimeError):
-    """Raised when a protocol does not terminate within the round limit."""
-
-
-@dataclass
-class RoundReport:
-    """Accounting of a single protocol execution.
-
-    Attributes
-    ----------
-    rounds:
-        Number of synchronous rounds executed (messages delivered).
-    congested_rounds:
-        Round count adjusted for bandwidth: each round is charged
-        ``max_edge ceil(bits / B)`` sub-rounds (at least 1 if any message was
-        sent, and 1 for an idle round that still advanced the clock).
-    total_messages:
-        Total number of messages delivered over the whole execution.
-    total_bits:
-        Total number of payload bits delivered.
-    max_message_bits:
-        Largest single message observed.
-    protocol:
-        Name of the protocol that produced this report.
-    """
-
-    rounds: int = 0
-    congested_rounds: int = 0
-    total_messages: int = 0
-    total_bits: int = 0
-    max_message_bits: int = 0
-    protocol: str = ""
-
-    def merge_sequential(self, other: "RoundReport") -> "RoundReport":
-        """Combine with a report of a protocol run *after* this one."""
-        return RoundReport(
-            rounds=self.rounds + other.rounds,
-            congested_rounds=self.congested_rounds + other.congested_rounds,
-            total_messages=self.total_messages + other.total_messages,
-            total_bits=self.total_bits + other.total_bits,
-            max_message_bits=max(self.max_message_bits, other.max_message_bits),
-            protocol=f"{self.protocol}+{other.protocol}" if self.protocol else other.protocol,
-        )
-
-    @staticmethod
-    def sequential(reports: List["RoundReport"]) -> "RoundReport":
-        """Combine a list of reports run one after another."""
-        combined = RoundReport()
-        for report in reports:
-            combined = combined.merge_sequential(report)
-        return combined
-
-
-@dataclass
-class SimulationResult:
-    """Outputs of all nodes plus the execution's round report."""
-
-    outputs: Dict[int, Any]
-    report: RoundReport
-    contexts: Dict[int, NodeContext] = field(default_factory=dict)
-
-    def output_of(self, node: int) -> Any:
-        """Convenience accessor for a single node's output."""
-        return self.outputs[node]
-
-    def unique_output(self) -> Any:
-        """Return the common output when all nodes agree; raise otherwise.
-
-        Matches the paper's success criterion: "we say an algorithm computes
-        the diameter/radius if all nodes output the correct answer".
-        """
-        values = {repr(value): value for value in self.outputs.values()}
-        if len(values) != 1:
-            raise ValueError(
-                f"nodes disagree on the output ({len(values)} distinct values)"
-            )
-        return next(iter(values.values()))
 
 
 class Simulator:
@@ -142,6 +76,7 @@ class Simulator:
         initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
         halt_on_quiescence: bool = False,
         observer: Optional[Any] = None,
+        engine: Optional[str] = None,
     ) -> SimulationResult:
         """Execute ``algorithm`` until every node halts.
 
@@ -167,84 +102,25 @@ class Simulator:
             that round.  Used by the Server-model reduction (Lemma 4.1) to
             count the communication that crosses the Alice/Bob/server
             ownership boundary; it never affects the execution itself.
+        engine:
+            Optional explicit engine name (``"sparse"``, ``"dense"``,
+            ``"legacy"``).  Defaults to the forced / ``REPRO_ENGINE`` /
+            ``auto`` selection; an explicitly named engine that cannot
+            execute this run raises instead of falling back.
 
         Returns
         -------
         SimulationResult
             Node outputs, contexts and the round report.
         """
-        network = self._network
-        bandwidth = network.bandwidth_bits
-        word_bits = network.word_bits
-
-        contexts: Dict[int, NodeContext] = {
-            node: NodeContext(node=node, network=network) for node in network.nodes
-        }
-        if initial_memory:
-            for node, memory in initial_memory.items():
-                contexts[node].memory.update(memory)
-
-        report = RoundReport(protocol=algorithm.name)
-
-        for node in network.nodes:
-            algorithm.initialize(contexts[node])
-
-        # Collect messages queued during initialization (delivered in round 1).
-        in_flight: List[Message] = []
-        for node in network.nodes:
-            in_flight.extend(contexts[node]._drain_outbox())
-
-        round_number = 0
-        while True:
-            if all(ctx.halted for ctx in contexts.values()):
-                break
-            round_number += 1
-            if round_number > self._max_rounds:
-                raise RoundLimitExceeded(
-                    f"protocol '{algorithm.name}' exceeded {self._max_rounds} rounds"
-                )
-
-            # --- Accounting for the messages delivered this round ---------- #
-            max_edge_charge = 1
-            edge_bits: Dict[tuple, int] = {}
-            for message in in_flight:
-                bits = message.size_bits(word_bits=word_bits)
-                report.total_messages += 1
-                report.total_bits += bits
-                report.max_message_bits = max(report.max_message_bits, bits)
-                key = (message.sender, message.receiver)
-                edge_bits[key] = edge_bits.get(key, 0) + bits
-            for bits in edge_bits.values():
-                charge = max(1, math.ceil(bits / bandwidth))
-                if charge > 1 and network.config.strict_bandwidth:
-                    raise ValueError(
-                        f"protocol '{algorithm.name}' exceeded the bandwidth: "
-                        f"{bits} bits on one edge in one round (B={bandwidth})"
-                    )
-                max_edge_charge = max(max_edge_charge, charge)
-            report.rounds += 1
-            report.congested_rounds += max_edge_charge
-
-            if observer is not None:
-                observer(round_number, list(in_flight))
-
-            # --- Deliver and schedule -------------------------------------- #
-            inboxes: Dict[int, List[Message]] = {node: [] for node in network.nodes}
-            for message in in_flight:
-                inboxes[message.receiver].append(message)
-            in_flight = []
-
-            for node in network.nodes:
-                ctx = contexts[node]
-                if ctx.halted:
-                    continue
-                algorithm.receive(ctx, round_number, inboxes[node])
-            for node in network.nodes:
-                in_flight.extend(contexts[node]._drain_outbox())
-
-            if halt_on_quiescence and not in_flight:
-                for ctx in contexts.values():
-                    ctx.halt()
-
-        outputs = {node: algorithm.output(contexts[node]) for node in network.nodes}
-        return SimulationResult(outputs=outputs, report=report, contexts=contexts)
+        selected = resolve_engine(
+            engine, self._network, algorithm, initial_memory=initial_memory
+        )
+        return selected.run(
+            self._network,
+            algorithm,
+            max_rounds=self._max_rounds,
+            initial_memory=initial_memory,
+            halt_on_quiescence=halt_on_quiescence,
+            observer=observer,
+        )

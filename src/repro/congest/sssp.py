@@ -22,6 +22,7 @@ import math
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.engine.schema import MinPlusSchema
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.primitives import build_bfs_tree
@@ -58,6 +59,27 @@ class _BellmanFordAlgorithm(NodeAlgorithm):
     def __init__(self, sources: List[int], max_hops: Optional[int] = None) -> None:
         self._sources = list(sources)
         self._max_hops = max_hops
+
+    def message_schema(self) -> MinPlusSchema:
+        # One min-plus column per distinct source (initialize() dedups the
+        # same way through its dict comprehension); announcements carry
+        # ("d", source, distance) and relax through the incident edge weight.
+        keys = tuple(dict.fromkeys(self._sources))
+        return MinPlusSchema(
+            label="d",
+            tag="bf",
+            keys=keys,
+            initial=lambda node: [0 if key == node else _INF for key in keys],
+            send_initial="finite",
+            add_edge_weight=True,
+            round_budget=self._max_hops,
+            finalize=lambda node, row: {
+                "distances": {
+                    key: (_INF if value == _INF else int(value))
+                    for key, value in zip(keys, row)
+                }
+            },
+        )
 
     def initialize(self, ctx: NodeContext) -> None:
         distances = {source: _INF for source in self._sources}

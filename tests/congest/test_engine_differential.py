@@ -1,0 +1,290 @@
+"""Differential tests: every execution engine must be indistinguishable.
+
+The engines (``legacy`` seed loop, optimized ``sparse``, vectorized
+``dense``) may differ arbitrarily in how they execute a round, but never in
+what they compute: outputs must be identical and the ``RoundReport`` numbers
+(rounds, congested_rounds, total_messages, total_bits, max_message_bits)
+bit-identical, across every migrated protocol, on random, structured,
+hop-truncated (unreachable-entry) and single-node networks.  The paper's
+round-complexity tables are read off these reports, so any engine divergence
+is a correctness bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    CongestConfig,
+    Network,
+    NodeAlgorithm,
+    Simulator,
+    available_engines,
+    force_engine,
+)
+from repro.congest.apsp import (
+    classical_diameter_protocol,
+    classical_eccentricity_protocol,
+    classical_radius_protocol,
+    distributed_unweighted_apsp,
+    distributed_weighted_apsp,
+)
+from repro.congest.primitives import (
+    broadcast_values_from,
+    build_bfs_tree,
+    convergecast_sum,
+    elect_leader,
+    gather_values_to,
+)
+from repro.congest.simulator import RoundLimitExceeded
+from repro.congest.sssp import (
+    _BellmanFordAlgorithm,
+    distributed_bellman_ford,
+    multi_source_bellman_ford,
+)
+from repro.graphs import (
+    WeightedGraph,
+    cycle_graph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+from repro.nanongkai.bounded_distance_sssp import bounded_distance_sssp_protocol
+
+ENGINES = available_engines()
+
+pytestmark = pytest.mark.engines
+
+
+def _networks():
+    """The differential topology zoo: random, structured, tiny, single-node."""
+    cases = {
+        "single-node": WeightedGraph(nodes=[0]),
+        "two-node": WeightedGraph(edges=[(0, 1, 3)]),
+        "path": path_graph(6, max_weight=7, seed=2),
+        "star": star_graph(5, max_weight=9, seed=4),
+        "cycle": cycle_graph(7, max_weight=5, seed=1),
+    }
+    for seed in (0, 1, 2):
+        cases[f"random-{seed}"] = random_weighted_graph(
+            14 + 3 * seed, average_degree=3.0, max_weight=40, seed=seed
+        )
+    return {name: Network(graph) for name, graph in cases.items()}
+
+
+NETWORKS = _networks()
+
+
+def _run_on_all_engines(protocol):
+    """Run ``protocol`` under every registered engine; return {engine: result}."""
+    results = {}
+    for engine in ENGINES:
+        with force_engine(engine):
+            results[engine] = protocol()
+    return results
+
+
+def _assert_identical(results):
+    """All engines produced identical outputs and bit-identical reports."""
+    (reference_engine, (ref_out, ref_report)), *rest = results.items()
+    for engine, (out, report) in rest:
+        assert out == ref_out, f"{engine} outputs diverge from {reference_engine}"
+        assert report == ref_report, (
+            f"{engine} report diverges from {reference_engine}: "
+            f"{report} != {ref_report}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+def test_weighted_sssp_identical(name):
+    network = NETWORKS[name]
+    source = min(network.nodes)
+    _assert_identical(
+        _run_on_all_engines(lambda: distributed_bellman_ford(network, source))
+    )
+
+
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+def test_weighted_apsp_identical(name):
+    network = NETWORKS[name]
+    _assert_identical(_run_on_all_engines(lambda: distributed_weighted_apsp(network)))
+
+
+@pytest.mark.parametrize("name", ["path", "random-0", "random-2"])
+def test_unweighted_apsp_identical(name):
+    network = NETWORKS[name]
+    _assert_identical(
+        _run_on_all_engines(lambda: distributed_unweighted_apsp(network))
+    )
+
+
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+def test_leader_election_identical(name):
+    network = NETWORKS[name]
+    _assert_identical(_run_on_all_engines(lambda: elect_leader(network)))
+
+
+@pytest.mark.parametrize("name", ["path", "star", "random-1"])
+@pytest.mark.parametrize("max_hops", [1, 2])
+def test_hop_bounded_multi_source_identical(name, max_hops):
+    """Hop budgets leave unreachable (inf) entries; engines must agree on them."""
+    network = NETWORKS[name]
+    sources = sorted(network.nodes)[:3]
+    _assert_identical(
+        _run_on_all_engines(
+            lambda: multi_source_bellman_ford(network, sources, max_hops=max_hops)
+        )
+    )
+
+
+@pytest.mark.parametrize("name", ["path", "random-0"])
+def test_diameter_radius_eccentricity_pipelines_identical(name):
+    """Composite protocols mix dense-eligible and schema-less stages."""
+    network = NETWORKS[name]
+    node = max(network.nodes)
+    for protocol in (
+        lambda: classical_diameter_protocol(network),
+        lambda: classical_radius_protocol(network, weighted=False),
+        lambda: classical_eccentricity_protocol(network, node),
+    ):
+        _assert_identical(_run_on_all_engines(protocol))
+
+
+@pytest.mark.parametrize("name", ["path", "star", "random-1"])
+def test_schema_less_primitives_identical(name):
+    """BFS tree / broadcast / convergecast / gather run on the general engines
+    under every forced preference (dense falls back without a schema)."""
+    network = NETWORKS[name]
+    root = min(network.nodes)
+    records = {node: [node, node + 1] for node in network.nodes}
+    values = {node: node for node in network.nodes}
+
+    def build():
+        tree, report = build_bfs_tree(network, root)
+        return {"parent": tree.parent, "depth": tree.depth}, report
+
+    for protocol in (
+        build,
+        lambda: broadcast_values_from(network, root, ["a", "b", "c"]),
+        lambda: gather_values_to(network, root, records),
+        lambda: convergecast_sum(network, values),
+    ):
+        _assert_identical(_run_on_all_engines(protocol))
+
+
+def test_bounded_distance_sssp_with_initial_memory_identical():
+    """initial_memory runs are ineligible for dense and must fall back cleanly."""
+    network = NETWORKS["random-0"]
+    source = min(network.nodes)
+    override = {
+        node: {
+            neighbor: max(1, weight // 2)
+            for neighbor, weight in network.incident_weights(node).items()
+        }
+        for node in network.nodes
+    }
+    _assert_identical(
+        _run_on_all_engines(
+            lambda: bounded_distance_sssp_protocol(
+                network, source, max_distance=25, weights=override
+            )
+        )
+    )
+
+
+def test_duplicate_sources_identical():
+    """The schema must dedup repeated sources exactly like initialize() does."""
+    network = NETWORKS["random-1"]
+    nodes = sorted(network.nodes)
+    sources = [nodes[0], nodes[2], nodes[0], nodes[2], nodes[1]]
+    _assert_identical(
+        _run_on_all_engines(lambda: multi_source_bellman_ford(network, sources))
+    )
+
+
+def test_negative_node_ids_identical():
+    """Negative ids flood negative values: encode_value charges them by
+    magnitude plus sign bit, and the engines must agree bit-for-bit."""
+    network = Network(WeightedGraph(edges=[(-5, 3, 2), (3, 7, 1), (-5, -2, 4)]))
+    for protocol in (
+        lambda: elect_leader(network),
+        lambda: distributed_bellman_ford(network, -5),
+    ):
+        _assert_identical(_run_on_all_engines(protocol))
+
+
+def test_huge_weights_stay_exact_on_every_engine():
+    """Weights near 2^53 overflow float64 exactness: the dense engine must
+    refuse such runs (auto falls back to sparse) rather than silently round."""
+    network = Network(WeightedGraph(edges=[(0, 1, 2**53 + 1), (1, 2, 3)]))
+    source = 0
+    results = _run_on_all_engines(lambda: distributed_bellman_ford(network, source))
+    _assert_identical(results)
+    assert results[ENGINES[0]][0][1] == 2**53 + 1  # the exact odd distance
+    if "dense" in ENGINES:
+        from repro.congest.engine import get_engine
+
+        algorithm = _BellmanFordAlgorithm([source])
+        assert not get_engine("dense").supports(network, algorithm)
+        with pytest.raises(ValueError):
+            Simulator(network).run(algorithm, engine="dense")
+
+
+def test_empty_source_set_identical():
+    """Zero state columns: one idle round, then quiescence, on every engine."""
+    network = NETWORKS["path"]
+    _assert_identical(
+        _run_on_all_engines(lambda: multi_source_bellman_ford(network, []))
+    )
+
+
+def test_round_limit_exceeded_parity():
+    network = NETWORKS["path"]
+    algorithm = _BellmanFordAlgorithm([min(network.nodes)])
+    messages = {}
+    for engine in ENGINES:
+        simulator = Simulator(network, max_rounds=17)
+        with pytest.raises(RoundLimitExceeded) as excinfo:
+            # No quiescence halting and no hop budget: never terminates.
+            simulator.run(algorithm, engine=engine)
+        messages[engine] = str(excinfo.value)
+    assert len(set(messages.values())) == 1, messages
+
+
+def test_strict_bandwidth_parity():
+    graph = random_weighted_graph(10, average_degree=3.0, max_weight=60, seed=5)
+    network = Network(
+        graph, CongestConfig(bandwidth_words=1, word_bits_override=8, strict_bandwidth=True)
+    )
+    messages = {}
+    for engine in ENGINES:
+        with pytest.raises(ValueError) as excinfo:
+            Simulator(network).run(
+                _BellmanFordAlgorithm(sorted(network.nodes)),
+                halt_on_quiescence=True,
+                engine=engine,
+            )
+        messages[engine] = str(excinfo.value)
+    assert len(set(messages.values())) == 1, messages
+
+
+class _NoSchema(NodeAlgorithm):
+    name = "no-schema"
+
+    def receive(self, ctx, round_number, messages):
+        ctx.halt()
+
+
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+def test_explicit_dense_on_schema_less_algorithm_raises():
+    network = NETWORKS["two-node"]
+    with pytest.raises(ValueError, match="dense"):
+        Simulator(network).run(_NoSchema(), engine="dense")
+
+
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+def test_forced_dense_falls_back_for_schema_less_algorithm():
+    network = NETWORKS["two-node"]
+    with force_engine("dense"):
+        result = Simulator(network).run(_NoSchema())
+    assert result.report.rounds == 1

@@ -1,0 +1,306 @@
+"""Engine registry behaviour plus observer/quiescence semantics per engine.
+
+Covers the engine-selection contract (explicit > forced > ``REPRO_ENGINE`` >
+auto, with sparse fallback for ineligible runs) and the two cross-engine
+semantic guarantees the satellite protocols rely on: observers see rounds
+numbered from 1 with exactly the delivered messages, and quiescence halting
+charges the same final round on every engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    Network,
+    NodeAlgorithm,
+    Simulator,
+    available_engines,
+    force_engine,
+    get_engine,
+)
+from repro.congest.engine import base as engine_base
+from repro.congest.engine.base import resolve_engine
+from repro.congest.primitives import _MinIdFloodAlgorithm
+from repro.congest.sssp import _BellmanFordAlgorithm
+from repro.graphs import WeightedGraph, path_graph, random_weighted_graph
+
+ENGINES = available_engines()
+
+pytestmark = pytest.mark.engines
+
+
+@pytest.fixture
+def network():
+    return Network(random_weighted_graph(12, average_degree=3.0, max_weight=20, seed=9))
+
+
+class _Quiet(NodeAlgorithm):
+    name = "quiet"
+
+    def receive(self, ctx, round_number, messages):
+        ctx.halt()
+
+
+class TestRegistry:
+    def test_bundled_engines_registered(self):
+        assert "sparse" in ENGINES
+        assert "legacy" in ENGINES
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            get_engine("warp-drive")
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            with force_engine("warp-drive"):
+                pass  # pragma: no cover
+
+    def test_force_engine_pins_and_restores(self, network, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        algorithm = _Quiet()
+        with force_engine("legacy"):
+            assert resolve_engine(None, network, algorithm).name == "legacy"
+        # Override gone: auto resolution picks sparse for schema-less programs.
+        assert resolve_engine(None, network, algorithm).name == "sparse"
+
+    def test_env_variable_selects_engine(self, network, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "legacy")
+        assert resolve_engine(None, network, _Quiet()).name == "legacy"
+
+    def test_env_variable_falls_back_when_ineligible(self, network, monkeypatch):
+        if "dense" not in ENGINES:
+            pytest.skip("dense engine needs NumPy")
+        monkeypatch.setenv("REPRO_ENGINE", "dense")
+        # No message schema: the env preference cannot apply and sparse runs.
+        assert resolve_engine(None, network, _Quiet()).name == "sparse"
+
+    def test_env_dense_falls_back_when_unregistered(self, network, monkeypatch):
+        """REPRO_ENGINE=dense must not crash runs on a NumPy-free machine
+        (where the dense engine never registers): known-but-absent optional
+        engines fall back to sparse; typos still raise."""
+        monkeypatch.setenv("REPRO_ENGINE", "dense")
+        removed = engine_base._REGISTRY.pop("dense", None)
+        try:
+            algorithm = _BellmanFordAlgorithm([min(network.nodes)])
+            assert resolve_engine(None, network, algorithm).name == "sparse"
+            monkeypatch.setenv("REPRO_ENGINE", "warp-drive")
+            with pytest.raises(ValueError, match="unknown execution engine"):
+                resolve_engine(None, network, algorithm)
+        finally:
+            if removed is not None:
+                engine_base._REGISTRY["dense"] = removed
+
+    def test_auto_prefers_dense_for_schema_protocols(self, network, monkeypatch):
+        if "dense" not in ENGINES:
+            pytest.skip("dense engine needs NumPy")
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        algorithm = _BellmanFordAlgorithm([min(network.nodes)])
+        assert resolve_engine(None, network, algorithm).name == "dense"
+        # ... but not when pre-loaded memory makes the run ineligible.
+        assert (
+            resolve_engine(
+                None, network, algorithm, initial_memory={0: {"x": 1}}
+            ).name
+            == "sparse"
+        )
+
+    def test_custom_engine_registration(self, network):
+        class EchoEngine(engine_base.ExecutionEngine):
+            name = "echo-test"
+
+            def run(self, network, algorithm, max_rounds, **kwargs):
+                return get_engine("sparse").run(
+                    network, algorithm, max_rounds, **kwargs
+                )
+
+        engine_base.register_engine(EchoEngine())
+        try:
+            result = Simulator(network).run(_Quiet(), engine="echo-test")
+            assert result.report.rounds == 1
+        finally:
+            engine_base._REGISTRY.pop("echo-test", None)
+
+
+class TestObserverSemantics:
+    """Observers see rounds numbered from 1 with exactly the delivered messages."""
+
+    @staticmethod
+    def _record(network, algorithm, engine, **kwargs):
+        rounds = []
+
+        def observer(round_number, delivered):
+            rounds.append(
+                (
+                    round_number,
+                    sorted(
+                        (m.sender, m.receiver, m.payload, m.tag) for m in delivered
+                    ),
+                )
+            )
+
+        result = Simulator(network).run(
+            algorithm, observer=observer, engine=engine, **kwargs
+        )
+        return rounds, result
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_round_numbering_and_delivery(self, network, engine):
+        source = min(network.nodes)
+        rounds, result = self._record(
+            network,
+            _BellmanFordAlgorithm([source]),
+            engine,
+            halt_on_quiescence=True,
+        )
+        numbers = [number for number, _ in rounds]
+        assert numbers == list(range(1, result.report.rounds + 1))
+        # Round 1 delivers exactly the source's initial announcements.
+        assert rounds[0][1] == sorted(
+            (source, neighbor, ("d", source, 0), "bf")
+            for neighbor in network.neighbors(source)
+        )
+        delivered_total = sum(len(batch) for _, batch in rounds)
+        assert delivered_total == result.report.total_messages
+
+    def test_observed_messages_identical_across_engines(self, network):
+        streams = {}
+        for engine in ENGINES:
+            streams[engine] = self._record(
+                network,
+                _BellmanFordAlgorithm(sorted(network.nodes)[:4]),
+                engine,
+                halt_on_quiescence=True,
+            )[0]
+        reference = streams.pop(ENGINES[0])
+        for engine, stream in streams.items():
+            assert stream == reference, f"{engine} observer stream diverged"
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_idle_rounds_observed_with_empty_delivery(self, engine):
+        # Budget far beyond convergence: the trailing rounds are idle but
+        # still numbered and observed, with nothing delivered.
+        network = Network(path_graph(4))
+        budget = 9
+        rounds, result = self._record(
+            network, _MinIdFloodAlgorithm(budget), engine
+        )
+        assert result.report.rounds == budget
+        numbers = [number for number, _ in rounds]
+        assert numbers == list(range(1, budget + 1))
+        assert all(batch == [] for _, batch in rounds[4:])
+
+
+class _ListPayload(NodeAlgorithm):
+    """Sends an unhashable (list) payload: exercises the sparse engine's
+    fallback from the shared payload-size cache to the per-message walk."""
+
+    name = "list-payload"
+
+    def initialize(self, ctx):
+        if ctx.node == 0:
+            ctx.send(1, [1, 2, 3], tag="raw")
+
+    def receive(self, ctx, round_number, messages):
+        ctx.halt()
+
+
+def test_sparse_sizes_unhashable_payloads_like_legacy():
+    network = Network(WeightedGraph(edges=[(0, 1, 1)]))
+    sparse = Simulator(network).run(_ListPayload(), engine="sparse")
+    legacy = Simulator(network).run(_ListPayload(), engine="legacy")
+    assert sparse.report == legacy.report
+    assert sparse.report.total_bits > 0
+
+
+class _MixedTypePayloads(NodeAlgorithm):
+    """Equal-comparing payloads of different types: 2 == 2.0 == two*True.
+
+    encode_value charges them differently (int 2 -> 3 bits, float -> one
+    word, bool -> 1 bit), so a size cache keyed on payload *equality* alone
+    would collapse them onto whichever was sized first."""
+
+    name = "mixed-type-payloads"
+
+    def initialize(self, ctx):
+        other = 1 - ctx.node
+        ctx.send(other, 2 if ctx.node == 0 else 2.0)
+        ctx.send(other, (True,) if ctx.node == 0 else (1,))
+
+    def receive(self, ctx, round_number, messages):
+        ctx.halt()
+
+
+def test_sparse_never_conflates_equal_payloads_of_different_types():
+    network = Network(WeightedGraph(edges=[(0, 1, 1)]))
+    sparse = Simulator(network).run(_MixedTypePayloads(), engine="sparse")
+    legacy = Simulator(network).run(_MixedTypePayloads(), engine="legacy")
+    assert sparse.report == legacy.report
+
+
+def test_schema_overhead_respects_word_bits():
+    """Custom schemas may use word-sized (float) key labels; the analytic
+    overhead must charge them with the network's word size, exactly as
+    message_size_bits would, or dense accounting desyncs."""
+    from repro.congest import MinPlusSchema
+    from repro.congest.message import encode_value, message_size_bits
+
+    schema = MinPlusSchema(
+        label="d",
+        tag="t",
+        keys=(2.5,),
+        initial=lambda node: [0],
+        finalize=lambda node, row: {},
+    )
+    for word_bits in (8, 32, 64):
+        expected = message_size_bits(
+            ("d", 2.5, 0), tag="t", word_bits=word_bits
+        ) - encode_value(0, word_bits)
+        assert schema.payload_overhead_bits(0, word_bits) == expected
+
+
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+def test_dense_bit_lengths_exact_at_power_boundaries():
+    """The vectorized bit_length must match int.bit_length exactly -- float
+    log2 is only an estimate near powers of two, where the accounting would
+    otherwise drift off the other engines by a bit."""
+    np = pytest.importorskip("numpy")
+    from repro.congest.engine.dense import _bit_lengths
+
+    values = [0, 1, 2, 3]
+    for k in range(1, 60):
+        values.extend([2**k - 1, 2**k, 2**k + 1])
+    arr = np.array(values, dtype=np.int64)
+    assert _bit_lengths(arr).tolist() == [v.bit_length() for v in values]
+
+
+class TestQuiescenceSemantics:
+    """halt_on_quiescence charges the same final round on every engine."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_quiescent_round_still_charged(self, engine):
+        network = Network(path_graph(5))
+        source = 0
+        result = Simulator(network).run(
+            _BellmanFordAlgorithm([source]),
+            halt_on_quiescence=True,
+            engine=engine,
+        )
+        # The flood takes 4 rounds to cross the path; the quiescence halt is
+        # detected in (and charges) the round after the last improvement.
+        assert result.report.rounds == 5
+        assert result.report.congested_rounds >= result.report.rounds
+        assert all(ctx.halted for ctx in result.contexts.values())
+
+    def test_reports_identical_across_engines(self):
+        network = Network(
+            random_weighted_graph(16, average_degree=3.0, max_weight=30, seed=11)
+        )
+        reports = {}
+        for engine in ENGINES:
+            reports[engine] = Simulator(network).run(
+                _BellmanFordAlgorithm(sorted(network.nodes)),
+                halt_on_quiescence=True,
+                engine=engine,
+            ).report
+        reference = reports.pop(ENGINES[0])
+        for engine, report in reports.items():
+            assert report == reference, f"{engine} diverged: {report} != {reference}"

@@ -62,6 +62,52 @@ class TestMessage:
             (1, 2), tag="t", word_bits=16
         )
 
+    def test_size_bits_memoized_per_word_size(self, monkeypatch):
+        """Repeated accounting never re-walks the payload.
+
+        ``encode_value`` stays the single source of truth: the first call per
+        ``word_bits`` walks the (nested) payload through it, later calls hit
+        the per-instance cache attached via ``object.__setattr__``.
+        """
+        import repro.congest.message as message_module
+
+        walks = []
+        real_encode = message_module.encode_value
+
+        def counting_encode(value, word_bits=32):
+            walks.append(word_bits)
+            return real_encode(value, word_bits)
+
+        expected_16 = message_size_bits((1, (2.5, 3)), tag="t", word_bits=16)
+        monkeypatch.setattr(message_module, "encode_value", counting_encode)
+        message = Message(0, 1, (1, (2.5, 3)), tag="t")
+
+        first = message.size_bits(word_bits=16)
+        walks_after_first = len(walks)
+        assert walks_after_first > 0
+        assert first == expected_16
+
+        assert message.size_bits(word_bits=16) == first
+        assert len(walks) == walks_after_first  # cache hit: no new walk
+
+        # A different word size is a genuinely different charge: one new walk.
+        second = message.size_bits(word_bits=64)
+        assert second != first
+        assert len(walks) > walks_after_first
+        walks_after_second = len(walks)
+        assert message.size_bits(word_bits=64) == second
+        assert len(walks) == walks_after_second
+
+    def test_memoization_survives_frozen_dataclass(self):
+        import dataclasses
+
+        message = Message(0, 1, (1, 2, 3))
+        assert message.size_bits() == message.size_bits()
+        # The cache is an implementation detail attached to the instance; the
+        # dataclass itself stays frozen for its declared fields.
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            message.payload = (4, 5)  # type: ignore[misc]
+
 
 class TestIdBits:
     def test_grows_logarithmically(self):

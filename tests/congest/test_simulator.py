@@ -108,6 +108,58 @@ class TestBasicExecution:
         with pytest.raises(ValueError):
             result.unique_output()
 
+    def test_unique_output_compares_by_equality_not_repr(self):
+        from repro.congest import RoundReport, SimulationResult
+
+        # Equal values with distinct reprs (1 vs True) must count as
+        # agreement; repr-based dedup used to report a disagreement here.
+        agreeing = SimulationResult(outputs={0: 1, 1: True}, report=RoundReport())
+        assert agreeing.unique_output() == 1
+
+        # Distinct values whose reprs collide must NOT count as agreement;
+        # repr-based dedup used to mis-group them into one.
+        class SameRepr:
+            def __init__(self, marker):
+                self.marker = marker
+
+            def __repr__(self):
+                return "SameRepr()"
+
+            def __eq__(self, other):
+                return isinstance(other, SameRepr) and self.marker == other.marker
+
+        disagreeing = SimulationResult(
+            outputs={0: SameRepr("a"), 1: SameRepr("b")}, report=RoundReport()
+        )
+        with pytest.raises(ValueError, match="disagree"):
+            disagreeing.unique_output()
+
+    def test_unique_output_handles_elementwise_eq_outputs(self):
+        np = pytest.importorskip("numpy")
+        from repro.congest import RoundReport, SimulationResult
+
+        # Outputs overloading == element-wise (numpy arrays) must not crash
+        # the agreement check with an ambiguous-truth-value error.
+        agreeing = SimulationResult(
+            outputs={0: np.array([1, 2]), 1: np.array([1, 2])},
+            report=RoundReport(),
+        )
+        assert list(agreeing.unique_output()) == [1, 2]
+        disagreeing = SimulationResult(
+            outputs={0: np.array([1, 2]), 1: np.array([1, 3])},
+            report=RoundReport(),
+        )
+        with pytest.raises(ValueError, match="disagree"):
+            disagreeing.unique_output()
+        # Comparisons that themselves raise (mismatched shapes, hostile
+        # __eq__) count as disagreement, never as an escaping error.
+        mismatched = SimulationResult(
+            outputs={0: np.array([1, 2]), 1: np.array([1, 2, 3])},
+            report=RoundReport(),
+        )
+        with pytest.raises(ValueError, match="disagree"):
+            mismatched.unique_output()
+
     def test_initial_memory_injected(self):
         class ReadMemory(NodeAlgorithm):
             def receive(self, ctx, round_number, messages):
