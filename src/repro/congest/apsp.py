@@ -55,7 +55,7 @@ def distributed_unweighted_apsp(
     Returns ``(distances, report)`` where ``distances[v][u]`` is the hop
     distance from ``u`` as known at node ``v``.
     """
-    unit_network = Network(network.graph.with_unit_weights(), network.config)
+    unit_network = network.unit_weight_companion()
     distances, report = multi_source_bellman_ford(unit_network, unit_network.nodes)
     report.protocol = "unweighted-apsp"
     return distances, report
@@ -130,11 +130,7 @@ def classical_eccentricity_protocol(
     """
     if node not in network.graph:
         raise KeyError(f"node {node} is not in the network")
-    target_network = (
-        network
-        if weighted
-        else Network(network.graph.with_unit_weights(), network.config)
-    )
+    target_network = network if weighted else network.unit_weight_companion()
     simulator = Simulator(target_network)
     result = simulator.run(
         _BellmanFordAlgorithm([node]), halt_on_quiescence=True

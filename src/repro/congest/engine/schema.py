@@ -6,17 +6,24 @@ What it *can* run is the min-plus flooding family that dominates the
 classical baselines of the paper (Table 1/2): every node keeps one
 monotonically non-increasing numeric value per key (a source, or a single
 anonymous slot), every delivered value is relaxed through
-``min(current, received [+ edge weight])``, and exactly the strictly
-improved entries are re-broadcast next round, as payload tuples
-``(label, key, value)`` (or ``(label, value)`` for single-slot protocols).
+``min(current, received [+ edge weight])``, and the re-broadcast rule is
+either "announce every strict improvement" (Bellman-Ford) or an *announce
+schedule* (Nanongkai's Algorithm 2 time-of-arrival discipline: a node
+broadcasts its value exactly once, in the round whose offset reaches the
+value).  Payloads are tuples ``(label, key, value)`` (``(label, value)``
+for single-slot protocols, ``(label, *key, value)`` for flattened composite
+keys).
 
 A :class:`~repro.congest.algorithm.NodeAlgorithm` opts in by returning a
 :class:`MinPlusSchema` from :meth:`message_schema`; Bellman-Ford SSSP/APSP
-(and hence unweighted BFS flooding) in :mod:`repro.congest.sssp` and the
-min-id leader-election flood in :mod:`repro.congest.primitives` do.  The
-schema is purely declarative -- the sparse/legacy engines ignore it, and the
-differential tests assert that the dense execution of a schema is
-bit-identical to running the node program itself.
+(and hence unweighted BFS flooding) in :mod:`repro.congest.sssp`, the
+min-id leader-election flood in :mod:`repro.congest.primitives`, and the
+announce-schedule protocols of :mod:`repro.nanongkai` (Algorithm 2
+bounded-distance SSSP -- and through it the Algorithm 1 level loop -- plus
+the delay-staggered Algorithm 3 multi-source run) do.  The schema is purely
+declarative -- the sparse/legacy engines ignore it, and the differential
+tests assert that the dense execution of a schema is bit-identical to
+running the node program itself.
 """
 
 from __future__ import annotations
@@ -67,6 +74,53 @@ class MinPlusSchema:
         exactly as the node program would have left it, so
         :meth:`NodeAlgorithm.output` and ``SimulationResult.contexts`` are
         engine-independent.
+    announce_at:
+        Optional announce schedule ``announce_at(value, offset) -> bool``
+        replacing the default announce-on-improvement rule: after relaxing,
+        a node (re-)broadcasts a column exactly when the gate fires for the
+        column's value at the current round offset.  ``offset`` is the
+        absolute round number, or -- when :attr:`column_windows` is set --
+        the round number relative to the column's window start, so
+        Algorithm 2's time-of-arrival rule is simply ``value <= offset``.
+        Must be vectorizable: the dense engine calls it with the full
+        ``(n, k)`` value array and a scalar/per-column offset and expects a
+        broadcastable boolean mask.
+    announce_once:
+        With an announce schedule, restrict every (node, column) entry to at
+        most one broadcast over the whole run (entries broadcast during
+        ``initialize`` count); mirrors the node programs' ``announced`` flag.
+    value_cap:
+        When set, relaxed candidates strictly above the cap are discarded
+        (the receiver keeps its previous value), mirroring Algorithm 2's
+        ``candidate <= L`` acceptance test.  Stored finite values therefore
+        never exceed ``max(cap, initial finite values)``.
+    column_windows:
+        Optional per-column ``(first_round, last_round)`` activity windows
+        (Algorithm 3's delay-staggered level windows).  Announcements for a
+        column may fire only in rounds inside its window, and deliveries
+        relax a column only in rounds ``first_round < r <= last_round`` --
+        a message sent in the window's last round is charged but discarded
+        by every receiver, exactly as the node program drops announcements
+        whose level window has closed.
+    weight_memory_key:
+        When set, the run's ``initial_memory`` pre-loads, for every node,
+        a dict ``{weight_memory_key: {neighbor: weight}}`` of override
+        weights (Algorithm 1's rounded weights ``w_i``); relaxations use the
+        *receiver's* override for the sending neighbor instead of the
+        network weight.  The dense engine only accepts runs whose pre-loaded
+        memory is exactly this shape (positive integer weights covering
+        every incident edge); anything else stays on the sparse engine.
+    column_weight:
+        Optional per-column weight transform ``column_weight(column, w) ->
+        w'`` applied to the (possibly overridden) edge weight before
+        relaxing that column (Algorithm 3 relaxes level ``i`` columns under
+        the rounded weights ``w_i``).  Must be deterministic and, for the
+        dense engine's exactness pre-check, monotone in ``w``.
+    flatten_keys:
+        When ``True``, tuple keys are splatted into the payload --
+        ``(label, *key, value)`` -- matching protocols whose announcements
+        carry composite keys as separate words (Algorithm 3's
+        ``(instance, level)``).
     """
 
     label: str
@@ -77,6 +131,13 @@ class MinPlusSchema:
     send_initial: str = "finite"
     add_edge_weight: bool = True
     round_budget: Optional[int] = None
+    announce_at: Optional[Callable[[Any, Any], Any]] = None
+    announce_once: bool = False
+    value_cap: Optional[int] = None
+    column_windows: Optional[Tuple[Tuple[int, int], ...]] = None
+    weight_memory_key: Optional[str] = None
+    column_weight: Optional[Callable[[int, int], int]] = None
+    flatten_keys: bool = False
 
     @property
     def num_columns(self) -> int:
@@ -105,4 +166,7 @@ class MinPlusSchema:
         encoded = int(value) if value != math.inf else value
         if self.keys is None:
             return (self.label, encoded)
-        return (self.label, self.keys[key_index], encoded)
+        key = self.keys[key_index]
+        if self.flatten_keys and isinstance(key, tuple):
+            return (self.label, *key, encoded)
+        return (self.label, key, encoded)

@@ -82,6 +82,7 @@ class Network:
         self._graph = graph
         self._config = config or CongestConfig()
         self._unweighted_diameter_cache: float | None = None
+        self._unit_companion_cache: tuple[int, "Network"] | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -140,6 +141,24 @@ class Network:
     def max_weight(self) -> int:
         """The maximum edge weight ``W`` (assumed globally known, as in Appendix A)."""
         return self._graph.max_weight()
+
+    def unit_weight_companion(self) -> "Network":
+        """The unit-weight twin of this network (same topology and config).
+
+        Memoized on the instance and keyed by the graph's mutation counter,
+        so repeated unweighted baselines (``distributed_unweighted_apsp``,
+        ``classical_eccentricity_protocol``) reuse one companion -- and hence
+        one cached CSR snapshot -- instead of re-freezing a fresh graph per
+        call; any topology mutation transparently invalidates the memo.
+        """
+        version = getattr(self._graph, "_version", None)
+        cached = self._unit_companion_cache
+        if cached is not None and version is not None and cached[0] == version:
+            return cached[1]
+        companion = Network(self._graph.with_unit_weights(), self._config)
+        if version is not None:
+            self._unit_companion_cache = (version, companion)
+        return companion
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -10,6 +10,11 @@ weight-unit per round and every announced value is already final.
 This is the inner loop of Nanongkai's weight-rounding scheme: the rounded
 weight functions ``w_i`` make the interesting distances small enough
 (``L = (1 + 2/ε)·ℓ``) that ``O(L)`` rounds are affordable.
+
+The protocol declares an announce-schedule :class:`MinPlusSchema` (gate
+``value <= offset``, announce-once, value cap ``L``, optional pre-loaded
+rounded weights), so the whole Algorithm 1/2 pipeline is eligible for the
+vectorized ``dense`` execution engine.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import math
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.engine.schema import MinPlusSchema
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.simulator import RoundReport, Simulator
@@ -25,6 +31,10 @@ from repro.congest.simulator import RoundReport, Simulator
 __all__ = ["BoundedDistanceSsspAlgorithm", "bounded_distance_sssp_protocol"]
 
 _INF = math.inf
+
+#: Memory key under which override weights are pre-loaded for the rounding
+#: levels of Algorithm 1 (and declared to the dense engine's schema).
+_WEIGHT_KEY = "override_weights"
 
 
 class BoundedDistanceSsspAlgorithm(NodeAlgorithm):
@@ -57,6 +67,32 @@ class BoundedDistanceSsspAlgorithm(NodeAlgorithm):
         self._max_distance = max_distance
         self._weight_key = weight_key
 
+    def message_schema(self) -> MinPlusSchema:
+        # One anonymous min-plus column per node: ("bd", distance) payloads,
+        # relaxed through the (possibly overridden) incident weight, accepted
+        # only up to the bound L, and announced exactly once -- in the round
+        # whose offset reaches the distance (the time-of-arrival discipline).
+        # The run halts in round L + 1, exactly like receive() below.
+        source = self._source
+        bound = self._max_distance
+        return MinPlusSchema(
+            label="bd",
+            tag="bdsssp",
+            keys=None,
+            initial=lambda node: [0 if node == source else _INF],
+            send_initial="finite",
+            add_edge_weight=True,
+            value_cap=bound,
+            announce_at=lambda value, offset: value <= offset,
+            announce_once=True,
+            round_budget=bound + 1,
+            weight_memory_key=self._weight_key,
+            finalize=lambda node, row: {
+                "distance": _INF if math.isinf(row[0]) else int(row[0]),
+                "announced": not math.isinf(row[0]),
+            },
+        )
+
     def _weight(self, ctx: NodeContext, neighbor: int) -> int:
         if self._weight_key is not None:
             return ctx.memory[self._weight_key][neighbor]
@@ -82,7 +118,7 @@ class BoundedDistanceSsspAlgorithm(NodeAlgorithm):
         # the announcement is guaranteed final (weights are >= 1).
         if (
             not memory["announced"]
-            and memory["distance"] is not _INF
+            and not math.isinf(memory["distance"])
             and memory["distance"] <= round_number
         ):
             ctx.broadcast(("bd", memory["distance"]), tag="bdsssp")
@@ -112,7 +148,10 @@ def bounded_distance_sssp_protocol(
         The bound ``L``.
     weights:
         Optional override weights ``{node: {neighbor: weight}}`` (used by the
-        rounding levels of Algorithm 1).  When omitted the network's own
+        rounding levels of Algorithm 1).  A node with no incident edges may
+        be omitted; omitting the weight of an existing edge is malformed and
+        raises ``ValueError`` up front (rather than a bare ``KeyError`` deep
+        inside the node program).  When omitted entirely the network's own
         weights are used.
 
     Returns
@@ -127,10 +166,25 @@ def bounded_distance_sssp_protocol(
     weight_key = None
     initial_memory = None
     if weights is not None:
-        weight_key = "override_weights"
-        initial_memory = {
-            node: {weight_key: dict(weights[node])} for node in network.nodes
-        }
+        weight_key = _WEIGHT_KEY
+        initial_memory = {}
+        for node in network.nodes:
+            table = weights.get(node)
+            if table is None:
+                # A node without incident overrides (e.g. an isolated node at
+                # a rounding level) simply has nothing to look up.
+                table = {}
+            missing = [
+                neighbor
+                for neighbor in network.neighbors(node)
+                if neighbor not in table
+            ]
+            if missing:
+                raise ValueError(
+                    f"malformed weight overrides: node {node} has no override "
+                    f"for neighbor(s) {sorted(missing)}"
+                )
+            initial_memory[node] = {weight_key: dict(table)}
     simulator = Simulator(
         network, max_rounds=max(10, 4 * (max_distance + 2)) + network.num_nodes
     )

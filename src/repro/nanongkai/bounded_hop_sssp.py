@@ -126,7 +126,7 @@ def bounded_hop_sssp_protocol(
         reports.append(report)
         scale = epsilon * (2**level) / (2 * hop_bound)
         for node, value in distances.items():
-            if value is _INF:
+            if math.isinf(value):
                 continue
             rescaled = value * scale
             if rescaled < best[node]:

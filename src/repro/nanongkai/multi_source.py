@@ -26,6 +26,7 @@ import random
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.engine.schema import MinPlusSchema
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.primitives import broadcast_values_from, build_bfs_tree
@@ -74,6 +75,86 @@ class MultiSourceBoundedHopAlgorithm(NodeAlgorithm):
         self._window = window
         self._duration = max(self._delays) + levels * window + 2
 
+    def message_schema(self) -> MinPlusSchema:
+        # One min-plus column per (instance, level) pair, live only inside
+        # its delay-staggered window: deliveries relax a column while its
+        # window is open at the receiver (a message sent in the window's
+        # last round is charged but dropped, like a closed-level
+        # announcement), relaxations go through the level's rounded weights
+        # and the bound cap, and a column announces once -- in the window
+        # round whose offset reaches its distance, exactly Algorithm 2's
+        # schedule.  Payloads flatten the key into ("ms", j, i, distance).
+        sources = self._sources
+        levels = self._levels
+        bound = self._bound
+        window = self._window
+        delays = self._delays
+        hop_bound = self._hop_bound
+        epsilon = self._epsilon
+        keys = tuple(
+            (instance, level)
+            for instance in range(len(sources))
+            for level in range(levels)
+        )
+        windows = tuple(
+            (delays[instance] + 1 + level * window, delays[instance] + (level + 1) * window)
+            for instance, level in keys
+        )
+
+        def initial(node: int) -> List[float]:
+            return [
+                0 if node == sources[instance] else _INF for instance, _level in keys
+            ]
+
+        def column_weight(column: int, weight: int) -> int:
+            return rounded_weight(weight, hop_bound, epsilon, keys[column][1])
+
+        def finalize(node: int, row: Any) -> Dict[str, Any]:
+            # Rebuild the memory the node program leaves behind: the final
+            # level's per-instance state, and the running best folded level
+            # by level (increasing, exactly the window order of receive()).
+            best = {
+                source: (0.0 if node == source else _INF) for source in sources
+            }
+            current: List[float] = [_INF] * len(sources)
+            announced: List[bool] = [False] * len(sources)
+            for column, (instance, level) in enumerate(keys):
+                value = row[column]
+                finite = not math.isinf(value)
+                if level == levels - 1:
+                    current[instance] = int(value) if finite else _INF
+                    announced[instance] = finite
+                if not finite:
+                    continue
+                scale = epsilon * (2**level) / (2 * hop_bound)
+                rescaled = int(value) * scale
+                source = sources[instance]
+                if rescaled < best[source]:
+                    best[source] = rescaled
+            return {
+                "best": best,
+                "current_distance": current,
+                "current_level": [levels - 1 if levels else -1] * len(sources),
+                "announced": announced,
+            }
+
+        return MinPlusSchema(
+            label="ms",
+            tag="mssp",
+            keys=keys,
+            flatten_keys=True,
+            initial=initial,
+            send_initial="none",
+            add_edge_weight=True,
+            value_cap=bound,
+            announce_at=lambda value, offset: value <= offset,
+            announce_once=True,
+            round_budget=self._duration,
+            column_windows=windows,
+            column_weight=column_weight,
+            finalize=finalize,
+        )
+
     # ------------------------------------------------------------------ #
     def _rounded_weight(self, weight: int, level: int) -> int:
         return rounded_weight(weight, self._hop_bound, self._epsilon, level)
@@ -112,7 +193,7 @@ class MultiSourceBoundedHopAlgorithm(NodeAlgorithm):
         if level < 0:
             return
         distance = memory["current_distance"][instance]
-        if distance is _INF or distance > self._bound:
+        if math.isinf(distance) or distance > self._bound:
             return
         scale = self._epsilon * (2**level) / (2 * self._hop_bound)
         source = self._sources[instance]
@@ -161,7 +242,7 @@ class MultiSourceBoundedHopAlgorithm(NodeAlgorithm):
             distance = memory["current_distance"][instance]
             if (
                 not memory["announced"][instance]
-                and distance is not _INF
+                and not math.isinf(distance)
                 and distance <= offset
             ):
                 ctx.broadcast(("ms", instance, level, distance), tag="mssp")

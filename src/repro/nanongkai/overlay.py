@@ -101,7 +101,7 @@ class OverlayGraph:
             if other == node:
                 continue
             weight = self.weight(node, other)
-            if weight is not _INF:
+            if not math.isinf(weight):
                 out.append((other, weight))
         return out
 
@@ -132,7 +132,7 @@ class OverlayGraph:
         for _ in range(max_hops):
             nxt = dict(current)
             for node in self._nodes:
-                if current[node] is _INF:
+                if math.isinf(current[node]):
                     continue
                 for neighbor, weight in self.neighbors(node):
                     candidate = current[node] + weight
@@ -175,7 +175,7 @@ def build_skeleton_graph(
     for i, u in enumerate(skeleton):
         for v in skeleton[i + 1 :]:
             weight = dtilde[v][u]
-            if weight is not _INF and weight > 0:
+            if not math.isinf(weight) and weight > 0:
                 overlay.set_weight(u, v, weight)
     return overlay
 
@@ -201,7 +201,7 @@ def build_shortcut_graph(
                 weight = exact[u][v]
             else:
                 weight = skeleton_graph.weight(u, v)
-            if weight is not _INF and weight > 0:
+            if not math.isinf(weight) and weight > 0:
                 shortcut.set_weight(u, v, weight)
     return shortcut, nearest
 
@@ -372,7 +372,7 @@ def overlay_sssp_protocol(
                 node
                 for node in skeleton
                 if not announced[node]
-                and distances[node] is not _INF
+                and not math.isinf(distances[node])
                 and distances[node] <= overlay_round
             ]
             for node in announcers:
@@ -392,7 +392,7 @@ def overlay_sssp_protocol(
 
         rescale = scale / (2 * hop_bound)
         for node, value in distances.items():
-            if value is _INF or value > bound:
+            if math.isinf(value) or value > bound:
                 continue
             rescaled = value * rescale
             if rescaled < best[node]:
@@ -400,7 +400,7 @@ def overlay_sssp_protocol(
 
     # Hand the |S| results to every node of the network (pipelined broadcast).
     payload = [
-        (node, best[node] if best[node] is not _INF else -1) for node in skeleton
+        (node, -1 if math.isinf(best[node]) else best[node]) for node in skeleton
     ]
     _, broadcast_report = broadcast_values_from(
         network, embedding.tree.root, payload, tree=embedding.tree

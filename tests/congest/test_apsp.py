@@ -99,3 +99,32 @@ class TestEccentricityProtocol:
         _, ecc_report = classical_eccentricity_protocol(random_network, 0)
         _, diam_report = classical_diameter_protocol(random_network)
         assert ecc_report.congested_rounds < diam_report.congested_rounds
+
+
+class TestUnitWeightCompanion:
+    def test_companion_is_memoized(self, random_network):
+        """Repeated unweighted baselines must reuse one unit-weight network
+        (and hence one cached CSR snapshot) instead of re-freezing per call."""
+        first = random_network.unit_weight_companion()
+        assert random_network.unit_weight_companion() is first
+        assert first.config is random_network.config
+        assert all(
+            first.edge_weight(u, v) == 1
+            for u in first.nodes
+            for v in first.neighbors(u)
+        )
+
+    def test_companion_invalidated_on_mutation(self, random_network):
+        first = random_network.unit_weight_companion()
+        nodes = sorted(random_network.nodes)
+        random_network.graph.add_edge(nodes[0], nodes[-1], 7)
+        second = random_network.unit_weight_companion()
+        assert second is not first
+        assert second.edge_weight(nodes[0], nodes[-1]) == 1
+
+    def test_unweighted_protocols_share_the_companion(self, random_network):
+        distributed_unweighted_apsp(random_network)
+        cached = random_network._unit_companion_cache
+        assert cached is not None
+        classical_eccentricity_protocol(random_network, 0, weighted=False)
+        assert random_network._unit_companion_cache[1] is cached[1]

@@ -49,7 +49,16 @@ from repro.graphs import (
     random_weighted_graph,
     star_graph,
 )
-from repro.nanongkai.bounded_distance_sssp import bounded_distance_sssp_protocol
+from repro.nanongkai.bounded_distance_sssp import (
+    BoundedDistanceSsspAlgorithm,
+    bounded_distance_sssp_protocol,
+)
+from repro.nanongkai.bounded_hop_sssp import (
+    bounded_hop_sssp_protocol,
+    level_distance_bound,
+    rounded_incident_weights,
+)
+from repro.nanongkai.multi_source import multi_source_bounded_hop_protocol
 
 ENGINES = available_engines()
 
@@ -173,7 +182,12 @@ def test_schema_less_primitives_identical(name):
 
 
 def test_bounded_distance_sssp_with_initial_memory_identical():
-    """initial_memory runs are ineligible for dense and must fall back cleanly."""
+    """Weight-override runs (pre-loaded memory) stay engine-invariant.
+
+    Since the announce-schedule schema these runs are *eligible* for dense
+    (the overrides are declared via ``weight_memory_key``), so this doubles
+    as the override-column differential check.
+    """
     network = NETWORKS["random-0"]
     source = min(network.nodes)
     override = {
@@ -190,6 +204,129 @@ def test_bounded_distance_sssp_with_initial_memory_identical():
             )
         )
     )
+
+
+# --------------------------------------------------------------------------- #
+# Announce-schedule schemas (Algorithm 2 / Algorithm 1 level loop /
+# Algorithm 3): gated announcements, value caps, per-column windows and
+# weight overrides must stay engine-invariant.
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+@pytest.mark.parametrize("bound", [0, 7, 30])
+def test_bounded_distance_sssp_identical(name, bound):
+    """Algorithm 2's time-of-arrival announce schedule, across topologies
+    (including the single-node network with zero announcements)."""
+    network = NETWORKS[name]
+    source = min(network.nodes)
+    _assert_identical(
+        _run_on_all_engines(
+            lambda: bounded_distance_sssp_protocol(network, source, bound)
+        )
+    )
+
+
+@pytest.mark.parametrize("name", ["path", "star", "random-0", "single-node"])
+def test_bounded_distance_sssp_rounded_overrides_identical(name):
+    """Algorithm 1's rounded weights w_i, pre-loaded as override columns."""
+    network = NETWORKS[name]
+    source = min(network.nodes)
+    bound = level_distance_bound(3, 0.5)
+    weights = rounded_incident_weights(network, 3, 0.5, level=1)
+    _assert_identical(
+        _run_on_all_engines(
+            lambda: bounded_distance_sssp_protocol(
+                network, source, bound, weights=weights
+            )
+        )
+    )
+
+
+@pytest.mark.parametrize("name", ["path", "random-1", "single-node"])
+def test_bounded_hop_sssp_pipeline_identical(name):
+    """One full Algorithm 1 run: every rounding level executes Algorithm 2
+    under its own override weights, and the summed report must match."""
+    network = NETWORKS[name]
+    source = min(network.nodes)
+    _assert_identical(
+        _run_on_all_engines(
+            lambda: bounded_hop_sssp_protocol(network, source, 3, 0.5, levels=4)
+        )
+    )
+
+
+@pytest.mark.parametrize("name", ["path", "star", "random-0"])
+def test_multi_source_bounded_hop_identical(name):
+    """Algorithm 3's delay-staggered level windows: per-column activity
+    ranges, per-level rounded weights and once-per-window announcements."""
+    network = NETWORKS[name]
+    sources = sorted(network.nodes)[:2]
+    _assert_identical(
+        _run_on_all_engines(
+            lambda: multi_source_bounded_hop_protocol(
+                network, sources, 3, 0.5, levels=3, seed=5
+            )
+        )
+    )
+
+
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+def test_announce_schedule_runs_are_dense_eligible():
+    """The Theorem 1.1 protocols must actually *run* dense, not fall back."""
+    from repro.congest.engine import get_engine
+
+    network = NETWORKS["random-0"]
+    source = min(network.nodes)
+    dense = get_engine("dense")
+    assert dense.supports(network, BoundedDistanceSsspAlgorithm(source, 20))
+    override = {
+        node: {"override_weights": dict(network.incident_weights(node))}
+        for node in network.nodes
+    }
+    assert dense.supports(
+        network,
+        BoundedDistanceSsspAlgorithm(source, 20, weight_key="override_weights"),
+        initial_memory=override,
+    )
+    # An explicit engine request must execute (it raises when unsupported).
+    result = Simulator(network).run(
+        BoundedDistanceSsspAlgorithm(source, 20), engine="dense"
+    )
+    assert result.report.rounds == 21
+
+
+def test_malformed_weight_overrides_raise_before_the_run():
+    """Override dicts must cover every incident edge; a missing node with
+    neighbors (or a missing neighbor entry) is a clear ValueError instead of
+    a bare KeyError deep inside the node program, on every engine."""
+    network = NETWORKS["path"]
+    source = min(network.nodes)
+    weights = rounded_incident_weights(network, 2, 0.5, level=0)
+    incomplete = {node: dict(weights[node]) for node in network.nodes}
+    victim = sorted(network.nodes)[1]
+    incomplete[victim].popitem()
+    for engine in ENGINES:
+        with force_engine(engine):
+            with pytest.raises(ValueError, match=f"node {victim}"):
+                bounded_distance_sssp_protocol(
+                    network, source, 10, weights=incomplete
+                )
+    dropped = {node: dict(weights[node]) for node in network.nodes if node != victim}
+    with pytest.raises(ValueError, match=f"node {victim}"):
+        bounded_distance_sssp_protocol(network, source, 10, weights=dropped)
+
+
+def test_isolated_node_weight_overrides_may_be_omitted():
+    """A node with no incident edges needs no override entry (it has nothing
+    to look up); ``dict(weights[node])`` used to raise a bare KeyError."""
+    network = NETWORKS["single-node"]
+    source = min(network.nodes)
+    results = _run_on_all_engines(
+        lambda: bounded_distance_sssp_protocol(network, source, 4, weights={})
+    )
+    _assert_identical(results)
+    outputs, report = results[ENGINES[0]]
+    assert outputs == {source: 0}
+    assert report.rounds == 5
 
 
 def test_duplicate_sources_identical():

@@ -304,3 +304,182 @@ class TestQuiescenceSemantics:
         reference = reports.pop(ENGINES[0])
         for engine, report in reports.items():
             assert report == reference, f"{engine} diverged: {report} != {reference}"
+
+
+# --------------------------------------------------------------------------- #
+# Announce-schedule schema validation: the dense engine must refuse (fall
+# back) or fail loudly on every pre-loaded-memory / schema shape it cannot
+# express, and the schema payload helpers must mirror the node programs.
+# --------------------------------------------------------------------------- #
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+class TestWeightOverrideValidation:
+    def _algorithm(self, source=0, bound=10, weight_key="override_weights"):
+        from repro.nanongkai.bounded_distance_sssp import BoundedDistanceSsspAlgorithm
+
+        return BoundedDistanceSsspAlgorithm(source, bound, weight_key=weight_key)
+
+    def _memory(self, network):
+        return {
+            node: {"override_weights": dict(network.incident_weights(node))}
+            for node in network.nodes
+        }
+
+    def test_well_formed_overrides_are_eligible(self, network):
+        dense = get_engine("dense")
+        assert dense.supports(network, self._algorithm(), self._memory(network))
+
+    def test_schema_key_without_memory_falls_back(self, network):
+        # The node program would KeyError on its first weight lookup; the
+        # dense engine must not silently run the network weights instead.
+        dense = get_engine("dense")
+        assert not dense.supports(network, self._algorithm())
+
+    def test_extra_memory_keys_fall_back(self, network):
+        memory = self._memory(network)
+        memory[min(network.nodes)]["extra_state"] = 1
+        assert not get_engine("dense").supports(network, self._algorithm(), memory)
+        with pytest.raises(ValueError, match="dense|memory"):
+            Simulator(network).run(
+                self._algorithm(), initial_memory=memory, engine="dense"
+            )
+
+    def test_non_integer_weights_fall_back(self, network):
+        memory = self._memory(network)
+        node = min(network.nodes)
+        neighbor = network.neighbors(node)[0]
+        memory[node]["override_weights"][neighbor] = 2.5
+        assert not get_engine("dense").supports(network, self._algorithm(), memory)
+
+    def test_non_positive_weights_fall_back(self, network):
+        memory = self._memory(network)
+        node = min(network.nodes)
+        neighbor = network.neighbors(node)[0]
+        memory[node]["override_weights"][neighbor] = 0
+        assert not get_engine("dense").supports(network, self._algorithm(), memory)
+
+    def test_unknown_nodes_in_memory_fall_back(self, network):
+        memory = self._memory(network)
+        memory[987654] = {"override_weights": {}}
+        assert not get_engine("dense").supports(network, self._algorithm(), memory)
+
+    def test_memory_without_schema_key_falls_back(self, network):
+        memory = self._memory(network)
+        assert not get_engine("dense").supports(
+            network, self._algorithm(weight_key=None), memory
+        )
+
+    def test_huge_override_weights_fall_back(self, network):
+        memory = self._memory(network)
+        node = min(network.nodes)
+        neighbor = network.neighbors(node)[0]
+        memory[node]["override_weights"][neighbor] = 2**53
+        assert not get_engine("dense").supports(network, self._algorithm(), memory)
+
+
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+class TestAnnounceScheduleSchemas:
+    def test_column_window_count_must_match_columns(self, network):
+        from repro.congest.engine.schema import MinPlusSchema
+
+        class _BadWindows(NodeAlgorithm):
+            name = "bad-windows"
+
+            def message_schema(self):
+                return MinPlusSchema(
+                    label="x",
+                    tag="",
+                    keys=("a", "b"),
+                    initial=lambda node: [0, 0],
+                    finalize=lambda node, row: {},
+                    announce_at=lambda value, offset: value <= offset,
+                    round_budget=3,
+                    column_windows=((1, 2),),  # two columns, one window
+                )
+
+            def receive(self, ctx, round_number, messages):
+                ctx.halt()
+
+        with pytest.raises(ValueError, match="column windows"):
+            Simulator(network).run(_BadWindows(), engine="dense")
+
+    def test_huge_column_weights_fall_back(self, network):
+        from repro.congest.engine.schema import MinPlusSchema
+
+        class _HugeTransform(NodeAlgorithm):
+            name = "huge-transform"
+
+            def message_schema(self):
+                return MinPlusSchema(
+                    label="x",
+                    tag="",
+                    keys=(0,),
+                    initial=lambda node: [0 if node == 0 else float("inf")],
+                    finalize=lambda node, row: {},
+                    value_cap=10,
+                    round_budget=3,
+                    column_weight=lambda column, weight: weight * 2**53,
+                )
+
+            def receive(self, ctx, round_number, messages):
+                ctx.halt()
+
+        assert not get_engine("dense").supports(network, _HugeTransform())
+
+    def test_schedule_that_never_fires_hits_the_round_limit_on_every_engine(self):
+        """A finite pending entry keeps the dense loop stepping (the gate
+        could fire later); if it never does, the failure mode must match the
+        engines that run the node program."""
+        from repro.congest.engine.schema import MinPlusSchema
+        from repro.congest.simulator import RoundLimitExceeded
+
+        class _NeverAnnounce(NodeAlgorithm):
+            name = "never-announce"
+
+            def message_schema(self):
+                return MinPlusSchema(
+                    label="x",
+                    tag="",
+                    keys=None,
+                    initial=lambda node: [node],
+                    send_initial="none",
+                    add_edge_weight=False,
+                    announce_at=lambda value, offset: (value < 0) & (offset < 0),
+                    announce_once=True,
+                    finalize=lambda node, row: {"value": int(row[0])},
+                )
+
+            def initialize(self, ctx):
+                ctx.memory["value"] = ctx.node
+
+            def receive(self, ctx, round_number, messages):
+                pass  # never announces, never halts
+
+        network = Network(path_graph(4, max_weight=3, seed=0))
+        messages = {}
+        for engine in ENGINES:
+            with pytest.raises(RoundLimitExceeded) as excinfo:
+                Simulator(network, max_rounds=9).run(_NeverAnnounce(), engine=engine)
+            messages[engine] = str(excinfo.value)
+        assert len(set(messages.values())) == 1, messages
+
+    def test_flattened_keys_splat_into_payloads(self):
+        from repro.congest.engine.schema import MinPlusSchema
+
+        schema = MinPlusSchema(
+            label="ms",
+            tag="mssp",
+            keys=((0, 1), (2, 3)),
+            flatten_keys=True,
+            initial=lambda node: [0, 0],
+            finalize=lambda node, row: {},
+        )
+        assert schema.payload_for(0, 5.0) == ("ms", 0, 1, 5)
+        assert schema.payload_for(1, float("inf"))[:3] == ("ms", 2, 3)
+        nested = MinPlusSchema(
+            label="ms",
+            tag="",
+            keys=((0, 1),),
+            initial=lambda node: [0],
+            finalize=lambda node, row: {},
+        )
+        assert nested.payload_for(0, 5.0) == ("ms", (0, 1), 5)

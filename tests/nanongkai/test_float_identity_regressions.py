@@ -1,0 +1,164 @@
+"""Regression tests for the float-infinity *identity* bug class.
+
+``x is math.inf`` is only true for the interned ``math.inf`` singleton; any
+infinity produced by arithmetic, ``float("inf")``, or a NumPy array round
+trip (``float(np.float64(np.inf)) is math.inf`` is ``False``) fails the
+identity test while being equal and ``math.isinf``.  The nanongkai layer
+compared distances by identity in 11 places; with the dense engine feeding
+NumPy-derived values through these paths, every one of them must use
+finiteness checks instead.  A lint-style test pins the invariant repo-wide.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.congest import Network
+from repro.congest.algorithm import NodeContext
+from repro.graphs import WeightedGraph, path_graph, random_weighted_graph
+from repro.nanongkai import bounded_hop_sssp_protocol, multi_source_bounded_hop_protocol
+from repro.nanongkai.bounded_distance_sssp import BoundedDistanceSsspAlgorithm
+from repro.nanongkai.multi_source import MultiSourceBoundedHopAlgorithm
+from repro.nanongkai.overlay import (
+    OverlayGraph,
+    build_skeleton_graph,
+    build_shortcut_graph,
+    embed_overlay_network,
+    overlay_sssp_protocol,
+)
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+
+def _non_interned_infs():
+    """Infinities that are == math.inf but fail the identity test."""
+    plain = float("inf")
+    numpy_derived = float(np.float64(np.inf))
+    assert plain is not math.inf and numpy_derived is not math.inf
+    assert math.isinf(plain) and math.isinf(numpy_derived)
+    return [plain, numpy_derived]
+
+
+def test_no_float_identity_comparisons_left_in_src():
+    """The lint guard of the acceptance criterion: zero ``is [not] _INF``."""
+    pattern = re.compile(r"\bis\s+(not\s+)?_INF\b")
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if pattern.search(line):
+                offenders.append(f"{path.relative_to(SRC_ROOT.parent)}:{lineno}")
+    assert not offenders, f"float identity comparisons survive: {offenders}"
+
+
+@pytest.mark.parametrize("bad_inf", _non_interned_infs())
+def test_skeleton_graph_drops_non_interned_inf_entries(bad_inf):
+    """``build_skeleton_graph`` must not turn an unreachable d~ entry into an
+    infinite-weight overlay edge (which used to crash the rounding-level
+    computation downstream via ``log2(inf)``)."""
+    skeleton = [0, 1, 2]
+    dtilde = {
+        0: {0: 0.0, 1: 2.0, 2: bad_inf},
+        1: {0: 2.0, 1: 0.0, 2: bad_inf},
+        2: {0: bad_inf, 1: bad_inf, 2: 0.0},
+    }
+    overlay = build_skeleton_graph(skeleton, dtilde)
+    assert overlay.edges() == [(0, 1, 2.0)]
+    shortcut, _ = build_shortcut_graph(overlay, k=1)
+    assert all(math.isfinite(w) for _, _, w in shortcut.edges())
+
+
+@pytest.mark.parametrize("bad_inf", _non_interned_infs())
+def test_overlay_neighbors_exclude_non_interned_inf_weights(bad_inf):
+    """A stored non-interned infinity is still "no edge" for neighbors(),
+    dijkstra() and bounded_hop_distances()."""
+    overlay = OverlayGraph([0, 1, 2])
+    overlay.set_weight(0, 1, 3.0)
+    overlay.set_weight(1, 2, bad_inf)  # passes the weight > 0 guard
+    assert overlay.neighbors(1) == [(0, 3.0)]
+    assert overlay.dijkstra(0)[2] == math.inf
+    assert overlay.bounded_hop_distances(0, 3)[2] == math.inf
+
+
+@pytest.mark.parametrize("bad_inf", _non_interned_infs())
+def test_overlay_sssp_with_numpy_derived_dtilde(bad_inf):
+    """End-to-end Algorithm 4 + 5 where every unreachable d~ entry is a
+    non-interned infinity (exactly what a NumPy-backed Algorithm 3 table
+    looks like): the result must equal the interned-inf run, and the final
+    broadcast must keep using the -1 sentinel for unreachable nodes."""
+    network = Network(random_weighted_graph(10, average_degree=3.0, max_weight=9, seed=3))
+    skeleton = sorted(network.nodes)[:3]
+    dtilde, _ = multi_source_bounded_hop_protocol(network, skeleton, 2, 0.5, levels=2, seed=1)
+    poisoned = {
+        v: {s: (bad_inf if math.isinf(d) else d) for s, d in row.items()}
+        for v, row in dtilde.items()
+    }
+    reference = embed_overlay_network(network, skeleton, dtilde, k=2)
+    injected = embed_overlay_network(network, skeleton, poisoned, k=2)
+    assert injected.skeleton_graph.edges() == reference.skeleton_graph.edges()
+    ref_dist, ref_report = overlay_sssp_protocol(network, reference, skeleton[0], 0.5)
+    got_dist, got_report = overlay_sssp_protocol(network, injected, skeleton[0], 0.5)
+    assert got_dist == ref_dist
+    assert got_report == ref_report
+
+
+@pytest.mark.parametrize("bad_inf", _non_interned_infs())
+def test_bounded_distance_announce_check_on_non_interned_inf(bad_inf):
+    """Algorithm 2's announce condition must classify a non-interned
+    infinite distance as unreachable: no broadcast, no announced flag."""
+    network = Network(WeightedGraph(edges=[(0, 1, 1)]))
+    algorithm = BoundedDistanceSsspAlgorithm(source=0, max_distance=5)
+    ctx = NodeContext(node=1, network=network)
+    ctx.memory["distance"] = bad_inf
+    ctx.memory["announced"] = False
+    algorithm.receive(ctx, round_number=3, messages=[])
+    assert ctx._drain_outbox() == []
+    assert ctx.memory["announced"] is False
+
+
+@pytest.mark.parametrize("bad_inf", _non_interned_infs())
+def test_multi_source_fold_and_announce_on_non_interned_inf(bad_inf):
+    """Algorithm 3's level fold and announce gate must treat a non-interned
+    infinite per-level distance as "level certified nothing"."""
+    network = Network(WeightedGraph(edges=[(0, 1, 1)]))
+    algorithm = MultiSourceBoundedHopAlgorithm(
+        sources=[0], hop_bound=2, epsilon=0.5, levels=1, delays=[0]
+    )
+    ctx = NodeContext(node=1, network=network)
+    algorithm.initialize(ctx)
+    ctx.memory["current_level"][0] = 0
+    ctx.memory["current_distance"][0] = bad_inf
+    algorithm._fold_level(ctx, 0)
+    assert ctx.memory["best"][0] == math.inf
+    algorithm.receive(ctx, round_number=1, messages=[])
+    assert all(
+        message.payload[0] != "ms" for message in ctx._drain_outbox()
+    ), "an unreachable instance must not announce"
+
+
+@pytest.mark.parametrize("bad_inf", _non_interned_infs())
+def test_bounded_hop_level_fold_on_non_interned_inf(bad_inf, monkeypatch):
+    """Algorithm 1's per-level fold must skip non-interned infinities coming
+    back from the (possibly NumPy-backed) Algorithm 2 runs."""
+    import repro.nanongkai.bounded_hop_sssp as module
+
+    network = Network(path_graph(5, max_weight=4, seed=1))
+    source = 0
+    expected, _ = bounded_hop_sssp_protocol(network, source, 2, 0.5, levels=3)
+
+    real = module.bounded_distance_sssp_protocol
+
+    def poisoned(*args, **kwargs):
+        distances, report = real(*args, **kwargs)
+        return (
+            {v: (bad_inf if math.isinf(d) else d) for v, d in distances.items()},
+            report,
+        )
+
+    monkeypatch.setattr(module, "bounded_distance_sssp_protocol", poisoned)
+    got, _ = bounded_hop_sssp_protocol(network, source, 2, 0.5, levels=3)
+    assert got == expected
