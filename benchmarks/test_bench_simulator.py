@@ -17,10 +17,18 @@ SSSP (Nanongkai's Algorithm 2, the inner loop of the Theorem 1.1 pipeline)
 must clear a >=3x floor over the legacy loop at ``n = 256`` (~6-9x measured:
 the workload is dominated by the ``L + 1`` fixed schedule rounds, which the
 dense engine steps without per-node Python dispatch).
+
+A third table records shard-count scaling for the ``sharded`` engine
+(``REPRO_SHARDS`` in {1, 2, 4, 8}, shard-serial): the acceptance criterion is
+only that sharded never regresses below the legacy loop at ``n = 256`` (the
+shard-serial mode does sparse's work plus one routing pass; the
+multiprocessing win is opt-in via ``REPRO_SHARD_WORKERS``), with bit-identical
+reports at every shard count.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from conftest import run_once
@@ -28,6 +36,7 @@ from conftest import run_once
 from repro.analysis import render_table
 from repro.congest import Network, available_engines, force_engine
 from repro.congest.apsp import distributed_weighted_apsp
+from repro.congest.engine.sharded import SHARDS_ENV_VAR, WORKERS_ENV_VAR
 from repro.graphs import random_weighted_graph
 
 HEADERS = [
@@ -43,9 +52,10 @@ HEADERS = [
 NODE_COUNTS = (64, 128, 256)
 
 #: Acceptance floors on the n=256 instance (speedup over the legacy loop).
-#: The dense floor is the ISSUE-2 acceptance criterion; the sparse floor is a
-#: no-regression guard with headroom for CI load (measured ~1.5-2x idle).
-REQUIRED_SPEEDUP = {"dense": 3.0, "sparse": 1.0}
+#: The dense floor is the ISSUE-2 acceptance criterion; the sparse and
+#: sharded floors are no-regression guards with headroom for CI load
+#: (sparse measures ~1.5-2x idle, shard-serial sharded ~1.2-1.8x).
+REQUIRED_SPEEDUP = {"dense": 3.0, "sparse": 1.0, "sharded": 1.0}
 
 
 def _best_of(func, repeats):
@@ -69,7 +79,7 @@ def _sweep():
         repeats = 2 if n < 256 else 1
         reference = None
         legacy_time = None
-        for engine in ("legacy", "sparse", "dense"):
+        for engine in ("legacy", "sparse", "dense", "sharded"):
             if engine not in available_engines():
                 continue
             with force_engine(engine):
@@ -145,7 +155,7 @@ def _bounded_distance_sweep():
     reference = None
     legacy_time = None
     dense_speedup = None
-    for engine in ("legacy", "sparse", "dense"):
+    for engine in ("legacy", "sparse", "dense", "sharded"):
         if engine not in available_engines():
             continue
         with force_engine(engine):
@@ -195,3 +205,77 @@ def test_bench_bounded_distance_sssp_engines(benchmark, record_artifact):
             f"legacy loop at n={BD_NODE_COUNT} "
             f"(needs {BD_REQUIRED_DENSE_SPEEDUP}x)"
         )
+
+
+# --------------------------------------------------------------------------- #
+# Shard-count scaling: the sharded engine across REPRO_SHARDS (shard-serial).
+# --------------------------------------------------------------------------- #
+SHARD_COUNTS = (1, 2, 4, 8)
+SHARD_SCALING_NODE_COUNT = 256
+
+SHARD_HEADERS = [
+    "shards",
+    "n",
+    "boundary edges",
+    "time [s]",
+    "rounds/sec",
+    "speedup vs legacy",
+    "identical",
+]
+
+
+def _shard_scaling_sweep():
+    network = Network(
+        random_weighted_graph(
+            SHARD_SCALING_NODE_COUNT, average_degree=4.0, max_weight=100, seed=7
+        )
+    )
+    with force_engine("legacy"):
+        legacy_time, reference = _best_of(
+            lambda: distributed_weighted_apsp(network), repeats=1
+        )
+    rows = []
+    saved = {var: os.environ.get(var) for var in (SHARDS_ENV_VAR, WORKERS_ENV_VAR)}
+    os.environ.pop(WORKERS_ENV_VAR, None)  # shard-serial: isolate routing cost
+    try:
+        for shards in SHARD_COUNTS:
+            os.environ[SHARDS_ENV_VAR] = str(shards)
+            with force_engine("sharded"):
+                elapsed, (outputs, report) = _best_of(
+                    lambda: distributed_weighted_apsp(network), repeats=1
+                )
+            matches = outputs == reference[0] and report == reference[1]
+            assert matches, f"sharded diverged from legacy at {shards} shards"
+            rows.append(
+                [
+                    shards,
+                    SHARD_SCALING_NODE_COUNT,
+                    network.shard_view(shards).cross_shard_edge_count,
+                    f"{elapsed:.3f}",
+                    f"{report.rounds / elapsed:.1f}",
+                    f"{legacy_time / elapsed:.1f}x",
+                    "yes" if matches else "NO",
+                ]
+            )
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+    return rows
+
+
+def test_bench_sharded_shard_scaling(benchmark, record_artifact):
+    rows = run_once(benchmark, _shard_scaling_sweep)
+    record_artifact(
+        "simulator_sharded_scaling",
+        render_table(
+            SHARD_HEADERS,
+            rows,
+            title=(
+                "Sharded engine shard-count scaling: weighted APSP, "
+                "shard-serial deliver/compute"
+            ),
+        ),
+    )

@@ -14,9 +14,9 @@ This subpackage provides:
 * :class:`~repro.congest.simulator.Simulator` -- the synchronous round
   scheduler with full round / message / bandwidth accounting.  It is a thin
   facade over the pluggable execution engines in
-  :mod:`repro.congest.engine` (``sparse`` / ``dense`` / ``legacy``,
-  selected per run or via ``REPRO_ENGINE``); every engine produces
-  bit-identical round reports.
+  :mod:`repro.congest.engine` (``sparse`` / ``dense`` / ``sharded`` /
+  ``legacy``, selected per run or via ``REPRO_ENGINE``); every engine
+  produces bit-identical round reports.
 * Building-block protocols used throughout the paper's constructions:
   broadcast, convergecast, BFS-tree construction and leader election in
   :mod:`repro.congest.primitives`.
@@ -26,7 +26,7 @@ This subpackage provides:
   the classical rows of Table 1.
 """
 
-from repro.congest.network import Network, CongestConfig
+from repro.congest.network import Network, CongestConfig, ShardView
 from repro.congest.message import Message, message_size_bits, encode_value
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
 from repro.congest.simulator import Simulator, RoundReport, SimulationResult
@@ -64,6 +64,7 @@ from repro.congest.apsp import (
 __all__ = [
     "Network",
     "CongestConfig",
+    "ShardView",
     "Message",
     "message_size_bits",
     "encode_value",

@@ -34,7 +34,6 @@ from repro.congest.primitives import (
 from repro.congest.simulator import RoundReport, Simulator
 from repro.congest.sssp import (
     _BellmanFordAlgorithm,
-    distributed_weighted_sssp,
     multi_source_bellman_ford,
 )
 

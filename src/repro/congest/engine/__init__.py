@@ -3,13 +3,14 @@
 See :mod:`repro.congest.engine.base` for the registry contract and
 :mod:`repro.congest.engine.schema` for the message-schema hook that makes a
 protocol eligible for the vectorized ``dense`` engine.  Importing this
-package registers the bundled engines (``sparse``, ``legacy``, and --
-when NumPy is importable -- ``dense``).
+package registers the bundled engines (``sparse``, ``legacy``, ``sharded``,
+and -- when NumPy is importable -- ``dense``).
 """
 
 from repro.congest.engine.types import (
     RoundLimitExceeded,
     RoundReport,
+    ShardRoundCharges,
     SimulationResult,
 )
 from repro.congest.engine.base import (
@@ -26,6 +27,7 @@ from repro.congest.engine.schema import MinPlusSchema
 # Engine registration happens at import time, mirroring the kernel backends.
 from repro.congest.engine import sparse as _sparse  # noqa: F401  (registers)
 from repro.congest.engine import legacy as _legacy  # noqa: F401  (registers)
+from repro.congest.engine import sharded as _sharded  # noqa: F401  (registers)
 
 try:  # The dense engine needs NumPy; everything else must work without it.
     from repro.congest.engine import dense as _dense  # noqa: F401  (registers)
@@ -35,6 +37,7 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
 __all__ = [
     "RoundLimitExceeded",
     "RoundReport",
+    "ShardRoundCharges",
     "SimulationResult",
     "ENGINE_ENV_VAR",
     "ExecutionEngine",

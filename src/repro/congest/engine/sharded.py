@@ -1,0 +1,508 @@
+"""Sharded round execution: per-shard deliver/compute with boundary buffers.
+
+CONGEST is itself a message-passing model, so a shard-partitioned simulator
+is a faithful scale-up of the model the paper's protocols run in: the node
+set is partitioned into ``REPRO_SHARDS`` contiguous, CSR-aware shards
+(:meth:`Network.shard_view` balances ``1 + degree`` per node and builds the
+cross-shard edge index once per topology), each round's deliver/compute
+phase runs per shard, and messages crossing a shard boundary travel through
+per-round boundary buffers routed by the coordinator.
+
+Two execution modes share the same per-shard round body:
+
+* **shard-serial** (default): every shard runs in-process, one after the
+  other in shard order.  This is the mode the invariance guarantee is
+  cheapest to see in -- it is the sparse engine's loop re-grouped by shard.
+* **multiprocessing workers** (``REPRO_SHARD_WORKERS > 1``): shards are
+  assigned to forked worker processes in contiguous blocks; each round the
+  coordinator ships every shard its boundary buffer, the workers execute
+  their shards' deliver/compute phases in parallel, and the out-messages
+  (sized at enqueue, exactly like sparse) come back for routing.  Workers
+  are forked *after* ``initialize``, so they inherit the contexts without
+  pickling the network or algorithm; platforms without ``fork`` fall back
+  to shard-serial execution.
+
+Determinism is structural, not incidental.  Shards are contiguous slices of
+the node order and are always merged in shard order, so the concatenation of
+per-shard out-message lists reproduces the sparse engine's global in-flight
+order; per-shard :class:`ShardRoundCharges` partials (each directed edge has
+a unique sender, so per-edge bit sums never straddle shards) merge into the
+exact accounting the sparse engine computes in one pass.  Outputs and
+:class:`RoundReport` numbers are therefore bit-identical to every other
+engine -- ``tests/congest/test_engine_differential.py`` enforces it across
+the full engine cross-product and ``REPRO_SHARDS`` in {1, 2, 4}.
+
+The engine needs no NumPy: it must stay available on dependency-free
+installs (the CI no-numpy job asserts it registers).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.engine.base import ExecutionEngine, register_engine
+from repro.congest.engine.types import (
+    RoundLimitExceeded,
+    RoundReport,
+    ShardRoundCharges,
+    SimulationResult,
+)
+from repro.congest.message import Message, make_message_sizer
+from repro.congest.network import Network
+
+__all__ = [
+    "ShardedEngine",
+    "SHARDS_ENV_VAR",
+    "WORKERS_ENV_VAR",
+    "resolve_shard_count",
+    "resolve_worker_count",
+]
+
+#: Environment variable fixing the shard count (positive integer or "auto").
+SHARDS_ENV_VAR = "REPRO_SHARDS"
+
+#: Environment variable enabling multiprocessing workers (> 1 activates them).
+WORKERS_ENV_VAR = "REPRO_SHARD_WORKERS"
+
+#: "auto" shard count: enough shards to matter, few enough that the
+#: per-round routing pass stays negligible on small networks.
+_AUTO_MAX_SHARDS = 4
+
+#: A sized message as the engines carry it: (message, charged bits).
+_Sized = Tuple[Message, int]
+
+
+def resolve_shard_count(num_nodes: int, raw: Optional[str] = None) -> int:
+    """Parse ``REPRO_SHARDS`` (or ``raw``) into a shard count for ``n`` nodes.
+
+    Unset/empty/``auto`` picks ``min(4, n)``; an explicit positive integer is
+    clamped to ``n`` (a shard must own at least one node); anything else --
+    zero, negatives, non-integers -- raises a clear :class:`ValueError`.
+    """
+    if raw is None:
+        raw = os.environ.get(SHARDS_ENV_VAR, "")
+    text = raw.strip().lower()
+    if text in ("", "auto"):
+        return min(_AUTO_MAX_SHARDS, num_nodes)
+    try:
+        count = int(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid {SHARDS_ENV_VAR} value {raw!r}: expected a positive "
+            f"integer or 'auto'"
+        ) from None
+    if count < 1:
+        raise ValueError(
+            f"invalid {SHARDS_ENV_VAR} value {raw!r}: the shard count must "
+            f"be at least 1"
+        )
+    return min(count, num_nodes)
+
+
+def resolve_worker_count(num_shards: int, raw: Optional[str] = None) -> int:
+    """Parse ``REPRO_SHARD_WORKERS`` (or ``raw``) into a worker count.
+
+    Unset/empty/``auto``/``1`` keeps execution shard-serial in-process; an
+    explicit integer above 1 enables multiprocessing workers (clamped to the
+    shard count -- a worker without a shard would be idle); anything else
+    raises a clear :class:`ValueError`.
+    """
+    if raw is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "")
+    text = raw.strip().lower()
+    if text in ("", "auto"):
+        return 1
+    try:
+        count = int(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid {WORKERS_ENV_VAR} value {raw!r}: expected a positive "
+            f"integer or 'auto'"
+        ) from None
+    if count < 1:
+        raise ValueError(
+            f"invalid {WORKERS_ENV_VAR} value {raw!r}: the worker count "
+            f"must be at least 1"
+        )
+    return min(count, num_shards)
+
+
+class _ShardState:
+    """One shard's live execution state: contexts, active list, inboxes.
+
+    The round body is the sparse engine's, re-scoped to the shard's node
+    slice: deliver into pooled inboxes, run ``receive`` for the active
+    contexts in node order, drain outboxes (sizing at enqueue through a
+    shard-local broadcast cache), then filter the active list.
+    """
+
+    __slots__ = ("shard", "contexts", "active", "inboxes", "_sized")
+
+    def __init__(
+        self, shard: int, contexts: Dict[int, NodeContext], word_bits: int
+    ) -> None:
+        self.shard = shard
+        self.contexts = contexts
+        self.active: List[NodeContext] = [
+            ctx for ctx in contexts.values() if not ctx.halted
+        ]
+        self.inboxes: Dict[int, List[Message]] = {node: [] for node in contexts}
+        # Shard-local instance of the same enqueue-time sizer sparse uses
+        # (shared with sparse so the cache-admission rule cannot drift).
+        self._sized = make_message_sizer(word_bits)
+
+    def drain_initial(self) -> List[_Sized]:
+        """Collect (and size) the messages queued during ``initialize``."""
+        out: List[_Sized] = []
+        for ctx in self.contexts.values():
+            for message in ctx._drain_outbox():
+                out.append(self._sized(message))
+        return out
+
+    def execute_round(
+        self,
+        algorithm: NodeAlgorithm,
+        round_number: int,
+        delivery: Sequence[_Sized],
+    ) -> List[_Sized]:
+        """Deliver ``delivery`` into this shard, run its compute phase."""
+        inboxes = self.inboxes
+        touched: List[List[Message]] = []
+        for message, _bits in delivery:
+            box = inboxes[message.receiver]
+            if not box:
+                touched.append(box)
+            box.append(message)
+
+        active = self.active
+        for ctx in active:
+            algorithm.receive(ctx, round_number, inboxes[ctx.node])
+        out: List[_Sized] = []
+        for ctx in active:
+            if ctx._outbox:
+                for message in ctx._drain_outbox():
+                    out.append(self._sized(message))
+        for box in touched:
+            box.clear()
+        self.active = [ctx for ctx in active if not ctx.halted]
+        return out
+
+    def halt_all(self) -> None:
+        for ctx in self.contexts.values():
+            ctx.halt()
+        self.active = []
+
+
+class _SerialCoordinator:
+    """Shard-serial execution: every shard runs in-process, in shard order."""
+
+    def __init__(self, states: List[_ShardState], algorithm: NodeAlgorithm) -> None:
+        self._states = states
+        self._algorithm = algorithm
+
+    def execute_round(
+        self, round_number: int, deliveries: List[List[_Sized]]
+    ) -> Tuple[List[List[_Sized]], List[int]]:
+        outs: List[List[_Sized]] = []
+        actives: List[int] = []
+        for state, delivery in zip(self._states, deliveries):
+            outs.append(state.execute_round(self._algorithm, round_number, delivery))
+            actives.append(len(state.active))
+        return outs, actives
+
+    def halt_all(self) -> None:
+        for state in self._states:
+            state.halt_all()
+
+    def finish(self) -> Dict[int, NodeContext]:
+        return {
+            node: ctx
+            for state in self._states
+            for node, ctx in state.contexts.items()
+        }
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_loop(conn, states: List[_ShardState], algorithm: NodeAlgorithm) -> None:
+    """Round server run inside each forked worker process.
+
+    Protocol (parent -> worker / worker -> parent):
+
+    * ``("round", r, [delivery, ...])`` -> ``("out", [(out, active), ...])``
+      or ``("error", exc)`` if a node program raised;
+    * ``("halt_all",)`` -> ``("ok",)`` (quiescence halting);
+    * ``("finish",)`` -> ``("done", {node: (memory, halted)})`` and exit;
+    * ``("stop",)`` -> exit.
+    """
+    try:
+        while True:
+            request = conn.recv()
+            kind = request[0]
+            if kind == "round":
+                _, round_number, deliveries = request
+                try:
+                    payload = []
+                    for state, delivery in zip(states, deliveries):
+                        out = state.execute_round(algorithm, round_number, delivery)
+                        payload.append((out, len(state.active)))
+                except Exception as exc:  # propagate to the coordinator
+                    try:
+                        conn.send(("error", exc))
+                    except Exception:
+                        conn.send(("error", RuntimeError(repr(exc))))
+                    break
+                conn.send(("out", payload))
+            elif kind == "halt_all":
+                for state in states:
+                    state.halt_all()
+                conn.send(("ok",))
+            elif kind == "finish":
+                snapshot = {
+                    node: (ctx.memory, ctx.halted)
+                    for state in states
+                    for node, ctx in state.contexts.items()
+                }
+                conn.send(("done", snapshot))
+                break
+            else:  # "stop"
+                break
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        pass
+    finally:
+        conn.close()
+
+
+class _ForkCoordinator:
+    """Multiprocessing execution: contiguous shard blocks per forked worker.
+
+    Workers fork *after* ``initialize`` (inheriting network, algorithm and
+    contexts for free) and hold their shards' live state; the parent keeps
+    only the routing/accounting role.  Final contexts are shipped back as
+    ``(memory, halted)`` snapshots and rebuilt against the parent's network.
+    """
+
+    def __init__(self, network: Network, workers) -> None:
+        self._network = network
+        self._workers = workers  # [(shard_ids, conn, process), ...]
+
+    @classmethod
+    def create(
+        cls,
+        network: Network,
+        states: List[_ShardState],
+        algorithm: NodeAlgorithm,
+        num_workers: int,
+    ) -> Optional["_ForkCoordinator"]:
+        try:
+            mp = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platform
+            return None
+        num_shards = len(states)
+        per_worker = -(-num_shards // num_workers)  # ceil
+        workers = []
+        try:
+            for start in range(0, num_shards, per_worker):
+                shard_ids = list(range(start, min(start + per_worker, num_shards)))
+                parent_conn, child_conn = mp.Pipe()
+                process = mp.Process(
+                    target=_worker_loop,
+                    args=(child_conn, [states[s] for s in shard_ids], algorithm),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                workers.append((shard_ids, parent_conn, process))
+        except Exception:  # pragma: no cover - spawn failure mid-way
+            for _ids, conn, process in workers:
+                conn.close()
+                process.terminate()
+            raise
+        return cls(network, workers)
+
+    def execute_round(
+        self, round_number: int, deliveries: List[List[_Sized]]
+    ) -> Tuple[List[List[_Sized]], List[int]]:
+        for shard_ids, conn, _process in self._workers:
+            conn.send(("round", round_number, [deliveries[s] for s in shard_ids]))
+        outs: List[List[_Sized]] = [[] for _ in deliveries]
+        actives: List[int] = [0] * len(deliveries)
+        failure: Optional[BaseException] = None
+        for shard_ids, conn, _process in self._workers:
+            reply = conn.recv()
+            if reply[0] == "error":
+                failure = failure or reply[1]
+                continue
+            for shard, (out, active) in zip(shard_ids, reply[1]):
+                outs[shard] = out
+                actives[shard] = active
+        if failure is not None:
+            raise failure
+        return outs, actives
+
+    def halt_all(self) -> None:
+        for _ids, conn, _process in self._workers:
+            conn.send(("halt_all",))
+        for _ids, conn, _process in self._workers:
+            conn.recv()
+
+    def finish(self) -> Dict[int, NodeContext]:
+        contexts: Dict[int, NodeContext] = {}
+        for _ids, conn, _process in self._workers:
+            conn.send(("finish",))
+        for _ids, conn, _process in self._workers:
+            reply = conn.recv()
+            for node, (memory, halted) in reply[1].items():
+                ctx = NodeContext(node=node, network=self._network, memory=memory)
+                ctx._halted = halted
+                contexts[node] = ctx
+        return contexts
+
+    def close(self) -> None:
+        for _ids, conn, process in self._workers:
+            try:
+                if process.is_alive():
+                    conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.terminate()
+                process.join(timeout=5)
+
+
+class ShardedEngine(ExecutionEngine):
+    """Shard-partitioned executor for arbitrary node programs."""
+
+    name = "sharded"
+
+    def run(
+        self,
+        network: Network,
+        algorithm: NodeAlgorithm,
+        max_rounds: int,
+        initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
+        halt_on_quiescence: bool = False,
+        observer: Optional[Any] = None,
+    ) -> SimulationResult:
+        num_shards = resolve_shard_count(network.num_nodes)
+        num_workers = resolve_worker_count(num_shards)
+        view = network.shard_view(num_shards)
+        bandwidth = network.bandwidth_bits
+        word_bits = network.word_bits
+        strict = network.config.strict_bandwidth
+        shard_by_node = view.shard_by_node
+        # Messages travel only along edges, so a shard with no outgoing
+        # boundary edges sends exclusively to itself: its whole out-buffer
+        # can be routed in one append-preserving bulk move instead of a
+        # per-message shard lookup (with REPRO_SHARDS=1 routing degenerates
+        # to a single list extend per round).
+        local_only = [not edges for edges in view.boundary_edges]
+
+        contexts: Dict[int, NodeContext] = {
+            node: NodeContext(node=node, network=network) for node in network.nodes
+        }
+        if initial_memory:
+            for node, memory in initial_memory.items():
+                contexts[node].memory.update(memory)
+
+        report = RoundReport(protocol=algorithm.name)
+
+        for node in network.nodes:
+            algorithm.initialize(contexts[node])
+
+        states = [
+            _ShardState(
+                shard,
+                {node: contexts[node] for node in view.shards[shard]},
+                word_bits,
+            )
+            for shard in range(num_shards)
+        ]
+        # Messages queued during initialization, per sender shard (delivered
+        # in round 1).  Drained before any fork, so workers inherit empty
+        # outboxes and the parent keeps the round-1 boundary buffers.
+        pending: List[List[_Sized]] = [state.drain_initial() for state in states]
+        total_active = sum(len(state.active) for state in states)
+
+        coordinator = None
+        if num_workers > 1 and total_active:
+            coordinator = _ForkCoordinator.create(
+                network, states, algorithm, num_workers
+            )
+        if coordinator is None:
+            coordinator = _SerialCoordinator(states, algorithm)
+
+        try:
+            round_number = 0
+            while total_active:
+                round_number += 1
+                if round_number > max_rounds:
+                    raise RoundLimitExceeded(
+                        f"protocol '{algorithm.name}' exceeded {max_rounds} rounds"
+                    )
+
+                # --- Merge per-shard charges, in stable shard order -------- #
+                max_edge_charge = 1
+                for out in pending:
+                    if not out:
+                        continue
+                    charges = ShardRoundCharges.from_messages(out, bandwidth, strict)
+                    if charges.violation_bits is not None:
+                        raise ValueError(
+                            f"protocol '{algorithm.name}' exceeded the "
+                            f"bandwidth: {charges.violation_bits} bits on one "
+                            f"edge in one round (B={bandwidth})"
+                        )
+                    report.total_messages += charges.messages
+                    report.total_bits += charges.bits
+                    if charges.max_message_bits > report.max_message_bits:
+                        report.max_message_bits = charges.max_message_bits
+                    if charges.max_edge_charge > max_edge_charge:
+                        max_edge_charge = charges.max_edge_charge
+                report.rounds += 1
+                report.congested_rounds += max_edge_charge
+
+                if observer is not None:
+                    observer(
+                        round_number,
+                        [message for out in pending for message, _bits in out],
+                    )
+
+                # --- Route into per-shard boundary buffers ----------------- #
+                # Shard order (= contiguous sender order) so each delivery
+                # buffer keeps the sparse engine's global inbox order.
+                deliveries: List[List[_Sized]] = [[] for _ in range(num_shards)]
+                for shard, out in enumerate(pending):
+                    if local_only[shard]:
+                        deliveries[shard].extend(out)
+                        continue
+                    for item in out:
+                        deliveries[shard_by_node[item[0].receiver]].append(item)
+
+                # --- Per-shard deliver/compute phase ----------------------- #
+                pending, active_counts = coordinator.execute_round(
+                    round_number, deliveries
+                )
+                total_active = sum(active_counts)
+
+                if halt_on_quiescence and not any(pending):
+                    coordinator.halt_all()
+                    break
+
+            final_contexts = coordinator.finish()
+        finally:
+            coordinator.close()
+
+        outputs = {
+            node: algorithm.output(final_contexts[node]) for node in network.nodes
+        }
+        return SimulationResult(outputs=outputs, report=report, contexts=final_contexts)
+
+
+register_engine(ShardedEngine())

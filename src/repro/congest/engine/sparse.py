@@ -30,7 +30,7 @@ from repro.congest.engine.types import (
     RoundReport,
     SimulationResult,
 )
-from repro.congest.message import Message
+from repro.congest.message import Message, make_message_sizer
 from repro.congest.network import Network
 
 __all__ = ["SparseEngine"]
@@ -63,27 +63,9 @@ class SparseEngine(ExecutionEngine):
 
         report = RoundReport(protocol=algorithm.name)
 
-        # Broadcasts fan the same payload tuple out to every neighbor; one
-        # walk of the payload serves the whole fan-out (and recurring flood
-        # values across rounds).  The shared cache is keyed by value, so it
-        # only admits flat tuples of exact ints/strs: for those, equality
-        # implies an identical charged size, whereas mixed-type equal values
-        # (1 == True == 1.0) charge differently and must not share an entry.
-        # Everything else falls back to the per-message memoized walk.
-        size_cache: Dict[Tuple[str, Any], int] = {}
-
-        def sized(message: Message) -> Tuple[Message, int]:
-            payload = message.payload
-            if type(payload) is tuple and all(
-                type(item) is int or type(item) is str for item in payload
-            ):
-                key = (message.tag, payload)
-                bits = size_cache.get(key)
-                if bits is None:
-                    bits = message.size_bits(word_bits=word_bits)
-                    size_cache[key] = bits
-                return message, bits
-            return message, message.size_bits(word_bits=word_bits)
+        # Enqueue-time sizing through the shared broadcast-payload cache
+        # (see make_message_sizer for the cache-admission type rule).
+        sized = make_message_sizer(word_bits)
 
         for node in network.nodes:
             algorithm.initialize(contexts[node])

@@ -8,12 +8,19 @@ import them without importing the facade.  The facade re-exports them, so
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.congest.algorithm import NodeContext
+from repro.congest.message import Message
 
-__all__ = ["RoundReport", "SimulationResult", "RoundLimitExceeded"]
+__all__ = [
+    "RoundReport",
+    "ShardRoundCharges",
+    "SimulationResult",
+    "RoundLimitExceeded",
+]
 
 
 def _values_equal(a: Any, b: Any) -> bool:
@@ -100,6 +107,75 @@ class RoundReport:
         for report in reports:
             combined = combined.merge_sequential(report)
         return combined
+
+
+@dataclass(frozen=True)
+class ShardRoundCharges:
+    """One shard's contribution to a single round's :class:`RoundReport`.
+
+    The sharded engine accounts each round per shard -- over the messages the
+    shard's nodes *sent* (each directed edge has a unique sender, so the
+    per-edge bit sums never straddle shards) -- and merges the partials in
+    stable shard order.  Because shards are contiguous slices of the node
+    order, that merge reproduces the sparse engine's single-pass accounting
+    bit for bit: totals add, maxima take the maximum, and the first
+    strict-bandwidth violation (in shard order, then local first-message
+    order) is exactly the edge the sparse engine would have raised on.
+
+    Attributes
+    ----------
+    messages / bits / max_message_bits:
+        The shard's message count, payload-bit sum and largest message.
+    max_edge_charge:
+        ``max(1, ceil(edge_bits / B))`` over the shard's directed edges
+        (only meaningful in non-strict mode).
+    violation_bits:
+        In strict-bandwidth mode, the bit sum of the shard's first
+        over-budget edge in message order, or ``None``.
+    """
+
+    messages: int = 0
+    bits: int = 0
+    max_message_bits: int = 0
+    max_edge_charge: int = 1
+    violation_bits: Optional[int] = None
+
+    @classmethod
+    def from_messages(
+        cls,
+        sized_messages: List[Tuple[Message, int]],
+        bandwidth: int,
+        strict: bool,
+    ) -> "ShardRoundCharges":
+        """Account one shard's sized out-messages exactly like sparse does."""
+        messages = 0
+        bits_total = 0
+        max_bits = 0
+        edge_bits: Dict[Tuple[int, int], int] = {}
+        for message, bits in sized_messages:
+            messages += 1
+            bits_total += bits
+            if bits > max_bits:
+                max_bits = bits
+            key = (message.sender, message.receiver)
+            edge_bits[key] = edge_bits.get(key, 0) + bits
+        max_edge_charge = 1
+        violation: Optional[int] = None
+        for bits in edge_bits.values():
+            if bits > bandwidth:
+                if strict:
+                    violation = bits
+                    break
+                charge = math.ceil(bits / bandwidth)
+                if charge > max_edge_charge:
+                    max_edge_charge = charge
+        return cls(
+            messages=messages,
+            bits=bits_total,
+            max_message_bits=max_bits,
+            max_edge_charge=max_edge_charge,
+            violation_bits=violation,
+        )
 
 
 @dataclass

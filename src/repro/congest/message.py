@@ -21,9 +21,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Callable, Dict, Tuple
 
-__all__ = ["Message", "message_size_bits", "encode_value", "id_bits"]
+__all__ = [
+    "Message",
+    "message_size_bits",
+    "encode_value",
+    "id_bits",
+    "make_message_sizer",
+]
 
 
 def id_bits(num_nodes: int) -> int:
@@ -108,3 +114,39 @@ def message_size_bits(payload: Any, tag: str = "", word_bits: int = 32) -> int:
     """Charged size in bits of a payload plus its protocol tag."""
     tag_bits = 8 if tag else 0
     return encode_value(payload, word_bits) + tag_bits
+
+
+def make_message_sizer(
+    word_bits: int,
+) -> Callable[[Message], Tuple[Message, int]]:
+    """Return a ``message -> (message, bits)`` sizer with a shared payload cache.
+
+    Broadcasts fan the same payload tuple out to every neighbor; one walk of
+    the payload serves the whole fan-out (and recurring flood values across
+    rounds).  The shared cache is keyed by value, so it only admits flat
+    tuples of exact ints/strs: for those, equality implies an identical
+    charged size, whereas mixed-type equal values (``1 == True == 1.0``)
+    charge differently and must not share an entry.  Everything else falls
+    back to the per-message memoized walk (:meth:`Message.size_bits` stays
+    the single source of truth).
+
+    Both the sparse and the sharded engine size at enqueue time through this
+    helper, so the cache-admission rule -- and with it the bit-identical
+    accounting -- cannot drift between them.
+    """
+    cache: Dict[Tuple[str, Any], int] = {}
+
+    def sized(message: Message) -> Tuple[Message, int]:
+        payload = message.payload
+        if type(payload) is tuple and all(
+            type(item) is int or type(item) is str for item in payload
+        ):
+            key = (message.tag, payload)
+            bits = cache.get(key)
+            if bits is None:
+                bits = message.size_bits(word_bits=word_bits)
+                cache[key] = bits
+            return message, bits
+        return message, message.size_bits(word_bits=word_bits)
+
+    return sized

@@ -24,7 +24,7 @@ from repro.congest.algorithm import NodeAlgorithm, NodeContext
 from repro.congest.engine.schema import MinPlusSchema
 from repro.congest.message import Message
 from repro.congest.network import Network
-from repro.congest.simulator import RoundReport, SimulationResult, Simulator
+from repro.congest.simulator import RoundReport, Simulator
 
 __all__ = [
     "BfsTree",

@@ -22,11 +22,13 @@ congestion-adjusted counts.
 Since the engine refactor, :class:`Simulator` is a thin facade: the actual
 round loop lives in one of the pluggable execution engines under
 :mod:`repro.congest.engine` (``sparse`` by default, the vectorized ``dense``
-engine for protocols with a structured message schema, and the pinned
-``legacy`` seed loop).  Every engine produces bit-identical
-:class:`RoundReport` numbers and identical outputs, so which engine runs is
-purely a performance decision -- overridable per call (``engine=``), per
-process (:func:`repro.congest.engine.force_engine`) or per environment
+engine for protocols with a structured message schema, the shard-partitioned
+``sharded`` engine -- ``REPRO_SHARDS`` shards, optionally executed by
+``REPRO_SHARD_WORKERS`` forked worker processes -- and the pinned ``legacy``
+seed loop).  Every engine produces bit-identical :class:`RoundReport`
+numbers and identical outputs, so which engine runs is purely a performance
+decision -- overridable per call (``engine=``), per process
+(:func:`repro.congest.engine.force_engine`) or per environment
 (``REPRO_ENGINE``).
 """
 
@@ -104,7 +106,7 @@ class Simulator:
             ownership boundary; it never affects the execution itself.
         engine:
             Optional explicit engine name (``"sparse"``, ``"dense"``,
-            ``"legacy"``).  Defaults to the forced / ``REPRO_ENGINE`` /
+            ``"sharded"``, ``"legacy"``).  Defaults to the forced / ``REPRO_ENGINE`` /
             ``auto`` selection; an explicitly named engine that cannot
             execute this run raises instead of falling back.
 

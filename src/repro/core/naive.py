@@ -22,14 +22,12 @@ the skeleton-based algorithm of Theorem 1.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
 from repro.congest.apsp import classical_eccentricity_protocol
 from repro.congest.network import Network
 from repro.congest.primitives import broadcast_from, build_bfs_tree
-from repro.congest.simulator import RoundReport
 from repro.kernels import eccentricities_csr
 from repro.quantum_congest.model import ProcedureCosts, QuantumCongestCharge
 from repro.quantum_congest.optimizer import DistributedQuantumOptimizer, SearchMode

@@ -14,7 +14,7 @@ node, and parallel edges keep only the lowest weight.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.graphs.weighted_graph import WeightedGraph
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog

@@ -19,7 +19,7 @@ class used by the approximate-degree experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Sequence
 
 __all__ = [
     "ver_function",

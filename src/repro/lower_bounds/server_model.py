@@ -20,13 +20,13 @@ the ``O(T · h · B)`` overhead empirically rather than taking it on faith.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm
 from repro.congest.message import Message
 from repro.congest.network import CongestConfig, Network
-from repro.congest.simulator import RoundReport, SimulationResult, Simulator
+from repro.congest.simulator import SimulationResult, Simulator
 from repro.lower_bounds.gadgets import DiameterGadget
 
 __all__ = [

@@ -18,15 +18,13 @@ layer can apply Lemma 3.1 with measured ``T0`` and ``T``.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.congest.network import Network
 from repro.congest.primitives import (
     broadcast_from,
-    build_bfs_tree,
     convergecast_max,
     gather_values_to,
 )

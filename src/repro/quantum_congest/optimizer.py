@@ -32,7 +32,6 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.congest.simulator import RoundReport
 from repro.quantum.minmax import quantum_maximum, quantum_minimum
 from repro.quantum_congest.model import (
     ProcedureCosts,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.analysis import crossover_workloads, diameter_sweep_workloads
 from repro.analysis.workloads import WorkloadInstance
-from repro.graphs import path_graph, unweighted_diameter
+from repro.graphs import path_graph
 
 
 class TestWorkloadInstance:

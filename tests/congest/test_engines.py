@@ -46,6 +46,7 @@ class TestRegistry:
     def test_bundled_engines_registered(self):
         assert "sparse" in ENGINES
         assert "legacy" in ENGINES
+        assert "sharded" in ENGINES  # registered with or without NumPy
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown execution engine"):
@@ -53,6 +54,38 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown execution engine"):
             with force_engine("warp-drive"):
                 pass  # pragma: no cover
+
+    def test_unknown_env_engine_rejected(self, network, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "warp-drive")
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            resolve_engine(None, network, _Quiet())
+
+    def test_force_engine_nesting_restores_prior_engine(self, network, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        algorithm = _Quiet()
+        with force_engine("legacy"):
+            with force_engine("sharded"):
+                assert resolve_engine(None, network, algorithm).name == "sharded"
+            # Leaving the inner block restores the *outer* pin, not "auto".
+            assert resolve_engine(None, network, algorithm).name == "legacy"
+        assert resolve_engine(None, network, algorithm).name == "sparse"
+
+    def test_force_engine_restores_even_after_errors(self, network, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        with force_engine("legacy"):
+            with pytest.raises(RuntimeError):
+                with force_engine("sharded"):
+                    raise RuntimeError("mid-block failure")
+            assert resolve_engine(None, network, _Quiet()).name == "legacy"
+        assert resolve_engine(None, network, _Quiet()).name == "sparse"
+
+    def test_auto_never_selects_sharded(self, network, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        # Sharding is opt-in (env/force/explicit): auto resolution picks the
+        # fastest eligible engine, never the shard-partitioned executor.
+        assert resolve_engine(None, network, _Quiet()).name == "sparse"
+        monkeypatch.setenv("REPRO_ENGINE", "sharded")
+        assert resolve_engine(None, network, _Quiet()).name == "sharded"
 
     def test_force_engine_pins_and_restores(self, network, monkeypatch):
         monkeypatch.delenv("REPRO_ENGINE", raising=False)

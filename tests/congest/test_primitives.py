@@ -19,7 +19,6 @@ from repro.graphs import (
     dijkstra,
     grid_graph,
     path_graph,
-    random_weighted_graph,
     star_graph,
 )
 

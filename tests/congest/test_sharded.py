@@ -1,0 +1,266 @@
+"""Sharded-engine specifics: partitioning, env handling, worker mode.
+
+The cross-engine invariance guarantee is enforced by
+``test_engine_differential.py`` (the sharded engine participates in the full
+engine cross-product there); this file covers what is unique to sharding --
+the contiguous CSR-aware partition and its boundary edge index, the
+``REPRO_SHARDS`` / ``REPRO_SHARD_WORKERS`` environment contract, the
+multiprocessing worker mode, and the 1-shard degeneracy to sparse semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import Network, NodeAlgorithm, Simulator, force_engine
+from repro.congest.engine.sharded import (
+    SHARDS_ENV_VAR,
+    WORKERS_ENV_VAR,
+    resolve_shard_count,
+    resolve_worker_count,
+)
+from repro.congest.sssp import _BellmanFordAlgorithm, distributed_bellman_ford
+from repro.graphs import (
+    WeightedGraph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+pytestmark = pytest.mark.engines
+
+
+@pytest.fixture
+def network():
+    return Network(
+        random_weighted_graph(18, average_degree=3.0, max_weight=30, seed=3)
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_shard_env(monkeypatch):
+    monkeypatch.delenv(SHARDS_ENV_VAR, raising=False)
+    monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+
+
+# --------------------------------------------------------------------------- #
+# Shard view: contiguous CSR-aware partition + boundary edge index.
+# --------------------------------------------------------------------------- #
+class TestShardView:
+    def test_partition_is_contiguous_and_covers_all_nodes(self, network):
+        view = network.shard_view(4)
+        assert view.num_shards == 4
+        concatenated = [node for shard in view.shards for node in shard]
+        assert concatenated == network.nodes  # contiguous slices, in order
+        assert all(shard for shard in view.shards)  # every shard non-empty
+        assert view.starts[0] == 0 and view.starts[-1] == network.num_nodes
+        for node in network.nodes:
+            shard = view.shard_of(node)
+            assert node in view.shards[shard]
+
+    def test_boundary_edges_are_exactly_the_cross_shard_edges(self, network):
+        view = network.shard_view(3)
+        expected = {
+            shard: set() for shard in range(view.num_shards)
+        }
+        for node in network.nodes:
+            for neighbor in network.neighbors(node):
+                if view.shard_of(node) != view.shard_of(neighbor):
+                    expected[view.shard_of(node)].add((node, neighbor))
+        for shard in range(view.num_shards):
+            assert view.boundary_edges[shard] == expected[shard]
+        assert view.cross_shard_edge_count == sum(
+            len(edges) for edges in expected.values()
+        )
+
+    def test_single_shard_has_no_boundary(self, network):
+        view = network.shard_view(1)
+        assert view.shards == (tuple(network.nodes),)
+        assert view.boundary_edges == (frozenset(),)
+        assert view.cross_shard_edge_count == 0
+
+    def test_partition_balances_degree_load(self):
+        # A star's hub carries all the edges: with 2 shards the hub's shard
+        # must stay small rather than splitting the leaves evenly.
+        network = Network(star_graph(12, max_weight=5, seed=0))
+        view = network.shard_view(2)
+        hub_shard = view.shard_of(0)  # star_graph centers node 0
+        other = 1 - hub_shard
+        assert len(view.shards[hub_shard]) < len(view.shards[other])
+
+    def test_invalid_shard_counts_rejected(self, network):
+        for bad in (0, -1, network.num_nodes + 1):
+            with pytest.raises(ValueError, match="num_shards"):
+                network.shard_view(bad)
+        with pytest.raises(ValueError, match="num_shards"):
+            network.shard_view(2.5)
+
+    def test_view_memoized_until_topology_mutation(self, network):
+        first = network.shard_view(3)
+        assert network.shard_view(3) is first
+        assert network.shard_view(2) is not first
+        assert network.shard_view(3) is first  # other counts don't evict
+        nodes = network.nodes
+        network.graph.add_edge(nodes[0], nodes[-1], 5)
+        rebuilt = network.shard_view(3)
+        assert rebuilt is not first
+
+
+# --------------------------------------------------------------------------- #
+# Environment contract: REPRO_SHARDS / REPRO_SHARD_WORKERS.
+# --------------------------------------------------------------------------- #
+class TestShardEnvironment:
+    def test_auto_and_unset_default(self):
+        assert resolve_shard_count(100, "") == 4
+        assert resolve_shard_count(100, "auto") == 4
+        assert resolve_shard_count(3, "") == 3  # never more shards than nodes
+        assert resolve_shard_count(1, "auto") == 1
+
+    def test_explicit_counts_clamped_to_node_count(self):
+        assert resolve_shard_count(100, "8") == 8
+        assert resolve_shard_count(5, "8") == 5
+        assert resolve_shard_count(5, " 2 ") == 2
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "2.5", "many", "1e3"])
+    def test_invalid_shard_counts_raise(self, bad):
+        with pytest.raises(ValueError, match=SHARDS_ENV_VAR):
+            resolve_shard_count(10, bad)
+
+    def test_worker_counts(self):
+        assert resolve_worker_count(4, "") == 1
+        assert resolve_worker_count(4, "auto") == 1
+        assert resolve_worker_count(4, "3") == 3
+        assert resolve_worker_count(2, "16") == 2  # clamped to shard count
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "x"])
+    def test_invalid_worker_counts_raise(self, bad):
+        with pytest.raises(ValueError, match=WORKERS_ENV_VAR):
+            resolve_worker_count(4, bad)
+
+    def test_bad_env_values_fail_the_run_loudly(self, network, monkeypatch):
+        source = min(network.nodes)
+        monkeypatch.setenv(SHARDS_ENV_VAR, "banana")
+        with pytest.raises(ValueError, match=SHARDS_ENV_VAR):
+            Simulator(network).run(
+                _BellmanFordAlgorithm([source]),
+                halt_on_quiescence=True,
+                engine="sharded",
+            )
+        monkeypatch.setenv(SHARDS_ENV_VAR, "2")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "zero")
+        with pytest.raises(ValueError, match=WORKERS_ENV_VAR):
+            Simulator(network).run(
+                _BellmanFordAlgorithm([source]),
+                halt_on_quiescence=True,
+                engine="sharded",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# 1-shard degeneracy: a single shard is exactly the sparse loop.
+# --------------------------------------------------------------------------- #
+def test_one_shard_degenerates_to_sparse_semantics(monkeypatch):
+    monkeypatch.setenv(SHARDS_ENV_VAR, "1")
+    for graph in (
+        path_graph(7, max_weight=6, seed=1),
+        random_weighted_graph(15, average_degree=3.5, max_weight=25, seed=8),
+        WeightedGraph(nodes=[0]),
+    ):
+        network = Network(graph)
+        source = min(network.nodes)
+        sparse = Simulator(network).run(
+            _BellmanFordAlgorithm([source]),
+            halt_on_quiescence=True,
+            engine="sparse",
+        )
+        sharded = Simulator(network).run(
+            _BellmanFordAlgorithm([source]),
+            halt_on_quiescence=True,
+            engine="sharded",
+        )
+        assert sharded.outputs == sparse.outputs
+        assert sharded.report == sparse.report
+        assert {n: c.halted for n, c in sharded.contexts.items()} == {
+            n: c.halted for n, c in sparse.contexts.items()
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Multiprocessing worker mode.
+# --------------------------------------------------------------------------- #
+class TestWorkerMode:
+    def test_worker_mode_matches_sparse(self, network, monkeypatch):
+        with force_engine("sparse"):
+            reference = distributed_bellman_ford(network, min(network.nodes))
+        monkeypatch.setenv(SHARDS_ENV_VAR, "4")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        with force_engine("sharded"):
+            result = distributed_bellman_ford(network, min(network.nodes))
+        assert result == reference
+
+    def test_worker_mode_returns_final_contexts(self, network, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV_VAR, "3")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        result = Simulator(network).run(
+            _BellmanFordAlgorithm([min(network.nodes)]),
+            halt_on_quiescence=True,
+            engine="sharded",
+        )
+        assert sorted(result.contexts) == sorted(network.nodes)
+        assert all(ctx.halted for ctx in result.contexts.values())
+        # Memory travelled back from the workers, not a stale parent copy.
+        assert all("distances" in ctx.memory for ctx in result.contexts.values())
+
+    def test_worker_mode_observer_stream_matches_serial(self, network, monkeypatch):
+        def record(engine):
+            rounds = []
+
+            def observer(round_number, delivered):
+                rounds.append(
+                    (
+                        round_number,
+                        [(m.sender, m.receiver, m.payload, m.tag) for m in delivered],
+                    )
+                )
+
+            Simulator(network).run(
+                _BellmanFordAlgorithm([min(network.nodes)]),
+                halt_on_quiescence=True,
+                observer=observer,
+                engine=engine,
+            )
+            return rounds
+
+        serial = record("sparse")
+        monkeypatch.setenv(SHARDS_ENV_VAR, "4")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        assert record("sharded") == serial
+
+    def test_worker_exceptions_propagate(self, network, monkeypatch):
+        class _Exploding(NodeAlgorithm):
+            name = "exploding"
+
+            def initialize(self, ctx):
+                ctx.broadcast(("boom", 1))
+
+            def receive(self, ctx, round_number, messages):
+                if round_number == 2:
+                    raise RuntimeError("node program failure")
+                ctx.broadcast(("boom", round_number))
+
+        monkeypatch.setenv(SHARDS_ENV_VAR, "2")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        with pytest.raises(RuntimeError, match="node program failure"):
+            Simulator(network).run(_Exploding(), engine="sharded")
+
+    def test_round_limit_parity_in_worker_mode(self, network, monkeypatch):
+        from repro.congest.simulator import RoundLimitExceeded
+
+        algorithm = _BellmanFordAlgorithm([min(network.nodes)])
+        with pytest.raises(RoundLimitExceeded) as serial_info:
+            Simulator(network, max_rounds=11).run(algorithm, engine="sparse")
+        monkeypatch.setenv(SHARDS_ENV_VAR, "4")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        with pytest.raises(RoundLimitExceeded) as worker_info:
+            Simulator(network, max_rounds=11).run(algorithm, engine="sharded")
+        assert str(worker_info.value) == str(serial_info.value)

@@ -6,7 +6,6 @@ import pytest
 
 from repro.congest import (
     CongestConfig,
-    Message,
     Network,
     NodeAlgorithm,
     RoundReport,

@@ -16,8 +16,7 @@ from repro.graphs import (
     low_diameter_expander,
     path_of_cliques,
     radius,
-    random_weighted_graph,
-)
+    )
 from repro.quantum_congest import SearchMode
 
 

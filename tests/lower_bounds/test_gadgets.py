@@ -2,13 +2,10 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.graphs import unweighted_diameter
 from repro.graphs.contraction import contract_unit_weight_edges
-from repro.graphs.properties import diameter as exact_diameter
 from repro.graphs.shortest_paths import dijkstra
 from repro.lower_bounds import (
     GadgetParameters,

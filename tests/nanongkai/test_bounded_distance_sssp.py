@@ -7,7 +7,7 @@ import math
 import pytest
 
 from repro.congest import Network
-from repro.graphs import dijkstra, path_graph, random_weighted_graph
+from repro.graphs import dijkstra, path_graph
 from repro.nanongkai import bounded_distance_sssp_protocol
 
 INF = math.inf

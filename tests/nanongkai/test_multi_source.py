@@ -6,8 +6,7 @@ import math
 
 import pytest
 
-from repro.congest import Network
-from repro.graphs import dijkstra, random_weighted_graph
+from repro.graphs import dijkstra
 from repro.graphs.rounding import approx_bounded_hop_distances_from
 from repro.nanongkai import bounded_hop_sssp_protocol, multi_source_bounded_hop_protocol
 

@@ -6,8 +6,7 @@ import math
 
 import pytest
 
-from repro.congest import Network
-from repro.graphs import dijkstra, random_weighted_graph
+from repro.graphs import dijkstra
 from repro.nanongkai import (
     OverlayGraph,
     embed_overlay_network,
