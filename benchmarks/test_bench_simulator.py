@@ -208,6 +208,105 @@ def test_bench_bounded_distance_sssp_engines(benchmark, record_artifact):
 
 
 # --------------------------------------------------------------------------- #
+# Tree-primitive family: pipelined gather + broadcast over a BFS tree.
+# --------------------------------------------------------------------------- #
+#: Acceptance floor for the dense tree-schema executors at n=256 (the
+#: ISSUE-5 criterion): the analytic schedule replay must beat interpreting
+#: the flood/echo node programs by at least 3x (measures ~15-30x idle).
+TREE_REQUIRED_DENSE_SPEEDUP = 3.0
+
+TREE_NODE_COUNT = 256
+TREE_BROADCAST_VALUES = 64
+TREE_RECORDS_PER_NODE = 2
+
+
+def _tree_primitive_sweep():
+    from repro.congest.primitives import (
+        broadcast_values_from,
+        build_bfs_tree,
+        gather_values_to,
+    )
+
+    network = Network(
+        random_weighted_graph(
+            TREE_NODE_COUNT, average_degree=4.0, max_weight=100, seed=7
+        )
+    )
+    root = min(network.nodes)
+    with force_engine("legacy"):
+        tree, _ = build_bfs_tree(network, root)
+    values = list(range(TREE_BROADCAST_VALUES))
+    records = {
+        node: [(node, i) for i in range(TREE_RECORDS_PER_NODE)]
+        for node in network.nodes
+    }
+
+    def workload():
+        received, broadcast_report = broadcast_values_from(
+            network, root, values, tree=tree
+        )
+        collected, gather_report = gather_values_to(
+            network, root, records, tree=tree
+        )
+        return (received, collected), broadcast_report.merge_sequential(
+            gather_report
+        )
+
+    rows = []
+    reference = None
+    legacy_time = None
+    dense_speedup = None
+    for engine in ("legacy", "sparse", "dense", "sharded"):
+        if engine not in available_engines():
+            continue
+        with force_engine(engine):
+            elapsed, (outputs, report) = _best_of(workload, repeats=3)
+        if engine == "legacy":
+            legacy_time = elapsed
+            reference = (outputs, report)
+            identical = "--"
+        else:
+            matches = outputs == reference[0] and report == reference[1]
+            identical = "yes" if matches else "NO"
+            assert matches, f"engine {engine} diverged from legacy"
+            if engine == "dense":
+                dense_speedup = legacy_time / elapsed
+        rows.append(
+            [
+                engine,
+                TREE_NODE_COUNT,
+                f"{elapsed:.3f}",
+                report.rounds,
+                f"{report.rounds / elapsed:.1f}",
+                "1.0x" if engine == "legacy" else f"{legacy_time / elapsed:.1f}x",
+                identical,
+            ]
+        )
+    return rows, dense_speedup
+
+
+def test_bench_tree_primitives_engines(benchmark, record_artifact):
+    rows, dense_speedup = run_once(benchmark, _tree_primitive_sweep)
+    record_artifact(
+        "simulator_tree_primitives",
+        render_table(
+            HEADERS,
+            rows,
+            title=(
+                "CONGEST engine wall-clock: pipelined gather + broadcast "
+                "over a BFS tree"
+            ),
+        ),
+    )
+    if dense_speedup is not None:  # dense absent without NumPy
+        assert dense_speedup >= TREE_REQUIRED_DENSE_SPEEDUP, (
+            f"dense tree primitives reached only {dense_speedup:.1f}x over "
+            f"the legacy loop at n={TREE_NODE_COUNT} "
+            f"(needs {TREE_REQUIRED_DENSE_SPEEDUP}x)"
+        )
+
+
+# --------------------------------------------------------------------------- #
 # Shard-count scaling: the sharded engine across REPRO_SHARDS (shard-serial).
 # --------------------------------------------------------------------------- #
 SHARD_COUNTS = (1, 2, 4, 8)

@@ -34,6 +34,7 @@ from repro.congest.engine import (
     ENGINE_ENV_VAR,
     ExecutionEngine,
     MinPlusSchema,
+    TreeSchema,
     available_engines,
     force_engine,
     get_engine,
@@ -76,6 +77,7 @@ __all__ = [
     "ENGINE_ENV_VAR",
     "ExecutionEngine",
     "MinPlusSchema",
+    "TreeSchema",
     "available_engines",
     "force_engine",
     "get_engine",

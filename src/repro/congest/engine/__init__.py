@@ -22,7 +22,7 @@ from repro.congest.engine.base import (
     register_engine,
     resolve_engine,
 )
-from repro.congest.engine.schema import MinPlusSchema
+from repro.congest.engine.schema import MinPlusSchema, TreeSchema
 
 # Engine registration happens at import time, mirroring the kernel backends.
 from repro.congest.engine import sparse as _sparse  # noqa: F401  (registers)
@@ -47,4 +47,5 @@ __all__ = [
     "register_engine",
     "resolve_engine",
     "MinPlusSchema",
+    "TreeSchema",
 ]

@@ -22,6 +22,13 @@ Weight-override runs (Algorithm 1's rounded weights ``w_i`` pre-loaded via
 columns) replace the CSR weight gather with per-receiver override /
 per-column weight matrices built once up front.
 
+Protocols declaring a :class:`TreeSchema` (the flood/echo tree primitives:
+BFS-tree build, pipelined broadcast, convergecast, pipelined gather) are
+dispatched to :mod:`repro.congest.engine.dense_tree`, which derives the
+whole message schedule analytically; the family's ``flood`` member (min-id
+leader election) unwraps to its :class:`MinPlusSchema` and runs through the
+vectorized loop below.
+
 The result -- outputs, contexts and the :class:`RoundReport` -- is
 bit-identical to executing the node program on the sparse/legacy engines;
 ``tests/congest/test_engine_differential.py`` enforces this across random,
@@ -35,8 +42,9 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.engine import dense_tree
 from repro.congest.engine.base import ExecutionEngine, register_engine
-from repro.congest.engine.schema import MinPlusSchema
+from repro.congest.engine.schema import MinPlusSchema, TreeSchema
 from repro.congest.engine.types import (
     RoundLimitExceeded,
     RoundReport,
@@ -131,6 +139,12 @@ class DenseEngine(ExecutionEngine):
         initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
     ) -> bool:
         schema = algorithm.message_schema()
+        if isinstance(schema, TreeSchema):
+            if schema.kind != "flood":
+                return dense_tree.tree_supports(network, schema, initial_memory)
+            # The flood member carries ordinary min-plus semantics; fall
+            # through to the MinPlusSchema eligibility checks below.
+            schema = schema.flood
         if not isinstance(schema, MinPlusSchema):
             return False
         try:
@@ -184,6 +198,18 @@ class DenseEngine(ExecutionEngine):
         # already ran in resolve_engine, but on its own schema fetch); the
         # in-run exactness guard below covers the 2^53 bound.
         schema = algorithm.message_schema()
+        if isinstance(schema, TreeSchema):
+            if schema.kind != "flood":
+                return dense_tree.run_tree(
+                    network,
+                    algorithm,
+                    schema,
+                    max_rounds=max_rounds,
+                    initial_memory=initial_memory,
+                    halt_on_quiescence=halt_on_quiescence,
+                    observer=observer,
+                )
+            schema = schema.flood  # min-plus semantics, executed below
         if not isinstance(schema, MinPlusSchema):
             raise ValueError(
                 f"dense engine cannot execute protocol '{algorithm.name}'"

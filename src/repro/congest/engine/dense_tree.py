@@ -1,0 +1,776 @@
+"""Analytic executors for the tree-primitive (:class:`TreeSchema`) family.
+
+The flood/echo tree primitives -- BFS-tree construction, pipelined
+broadcast, convergecast, pipelined gather -- have message schedules that are
+fully determined by the topology (and, for the tree-shaped kinds, the
+declared tree): which node sends which payload over which edge in which
+round never depends on runtime data the engine cannot see.  The dense
+engine therefore does not interpret ``receive`` per node; it derives the
+whole schedule up front and replays only the *accounting*:
+
+1. a per-kind planner computes, for every send time ``t`` (``t = 0`` is
+   ``initialize``; messages sent at ``t`` are delivered in round ``t + 1``),
+   the aggregate message count, bit sum, largest single message and largest
+   per-edge bit load of that round -- plus a lazy ``materialize(t)`` that
+   reconstructs the exact message list in the sparse engine's enqueue order
+   (sender in node order, program send order within a sender), used only
+   for observers and strict-bandwidth violations;
+2. a shared accounting loop turns those aggregates into the
+   :class:`~repro.congest.engine.types.RoundReport` exactly as the sparse
+   engine's single-pass accounting would, including the congestion charge
+   ``max_edge ceil(bits / B)``, the strict-bandwidth first-violation error
+   text, and the round-limit failure mode;
+3. a per-kind finalizer rebuilds every node's memory as the node program
+   would have left it, so outputs and contexts are engine-independent.
+
+All derivations mirror ``repro.congest.primitives`` statement by statement;
+``tests/congest/test_engine_differential.py`` pins the bit-identical
+guarantee across random, structured and single-node networks.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.engine.schema import TreeSchema
+from repro.congest.engine.types import (
+    RoundLimitExceeded,
+    RoundReport,
+    SimulationResult,
+)
+from repro.congest.message import Message, message_size_bits
+from repro.congest.network import Network
+
+__all__ = ["tree_supports", "run_tree"]
+
+#: ``materialize(t)`` -> ``[(sender, receiver, payload), ...]`` in enqueue order.
+_Materializer = Callable[[int], List[Tuple[int, int, Tuple[Any, ...]]]]
+
+
+@dataclass
+class _TreePlan:
+    """One run's precomputed schedule: aggregates per send time plus hooks."""
+
+    rounds: int
+    msgs: List[int]
+    bits: List[int]
+    max_message: List[int]
+    max_edge: List[int]
+    materialize: _Materializer
+    memory: Dict[int, Dict[str, Any]]
+
+
+class _Unsupported(ValueError):
+    """The schema/topology combination cannot be reproduced analytically."""
+
+
+# --------------------------------------------------------------------------- #
+# Shared tree validation (broadcast / convergecast / gather)
+# --------------------------------------------------------------------------- #
+@dataclass
+class _TreeArrays:
+    """The declared tree, validated against the topology and node order."""
+
+    nodes: List[int]
+    order: Dict[int, int]
+    root: int
+    depth: Dict[int, int]
+    parent: Dict[int, Optional[int]]
+    children: Dict[int, List[int]]
+    height: int
+
+
+def _tree_arrays(network: Network, schema: TreeSchema) -> _TreeArrays:
+    """Validate ``schema``'s tree maps; raise :class:`_Unsupported` on any
+    shape the node program would not execute cleanly (wrong root, missing
+    nodes, non-edges, inconsistent depths/children), so such runs fall back
+    to the engines that interpret the program and fail *its* way.
+
+    Deliberately *not* memoized (unlike the BFS layering): ``supports()``
+    and ``run()`` hand us distinct schema objects whose tree maps are plain
+    dicts -- no weakref anchor to key a cache on safely -- and one dict
+    sweep per call is noise next to the schedule construction it guards.
+    """
+    nodes = list(network.nodes)
+    order = {node: i for i, node in enumerate(nodes)}
+    root = schema.root
+    depth = schema.depth
+    parent = schema.parent
+    if root not in order:
+        raise _Unsupported(f"tree root {root} is not a node of the network")
+    actual_children: Dict[int, List[int]] = {node: [] for node in nodes}
+    for node in nodes:
+        if node not in depth or node not in parent:
+            raise _Unsupported(f"tree maps do not cover node {node}")
+    if parent[root] is not None or depth[root] != 0:
+        raise _Unsupported("tree root must have no parent and depth 0")
+    for node in nodes:
+        if node == root:
+            continue
+        p = parent[node]
+        if p is None or p not in order:
+            raise _Unsupported(f"node {node} has no valid tree parent")
+        if depth[node] != depth[p] + 1:
+            raise _Unsupported(f"node {node} breaks the depth invariant")
+        if node not in network.neighbors(p):
+            raise _Unsupported(f"tree edge ({p}, {node}) is not a network edge")
+        actual_children[p].append(node)
+    children: Dict[int, List[int]] = {}
+    for node in nodes:
+        declared = list((schema.children or {}).get(node, []))
+        if len(set(declared)) != len(declared) or set(declared) != set(
+            actual_children[node]
+        ):
+            raise _Unsupported(f"children of {node} disagree with the parent map")
+        children[node] = declared
+    height = max(depth[node] for node in nodes)
+    return _TreeArrays(
+        nodes=nodes,
+        order=order,
+        root=root,
+        depth=dict(depth),
+        parent={node: parent[node] for node in nodes},
+        children=children,
+        height=height,
+    )
+
+
+def _empty_plan(memory: Dict[int, Dict[str, Any]]) -> _TreePlan:
+    return _TreePlan(
+        rounds=0,
+        msgs=[],
+        bits=[],
+        max_message=[],
+        max_edge=[],
+        materialize=lambda t: [],
+        memory=memory,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# BFS-tree construction (flood-and-echo)
+# --------------------------------------------------------------------------- #
+#: Memoized explore-flood layerings, keyed like ``Network.shard_view``: per
+#: graph (by ``id``, evicted via ``weakref.finalize`` when the graph dies --
+#: :class:`WeightedGraph` is deliberately unhashable), by (mutation counter,
+#: root).  ``supports()`` and ``run()`` both need the layering, so one run
+#: would otherwise walk the graph twice; ``None`` records a disconnected
+#: outcome.
+_BFS_LAYER_CACHE: Dict[int, Dict[Tuple[Any, int], Any]] = {}
+
+
+def _bfs_layers(
+    network: Network, root: int
+) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
+    """Hop depths and min-id parents of the explore flood; raises
+    :class:`_Unsupported` when the flood cannot span the topology."""
+    graph = network.graph
+    version = getattr(graph, "_version", None)
+    key = (version, root)
+    if version is not None:
+        per_graph = _BFS_LAYER_CACHE.get(id(graph))
+        if per_graph is not None and key in per_graph:
+            cached = per_graph[key]
+            if cached is None:
+                raise _Unsupported(
+                    "the topology is disconnected: the flood never ends"
+                )
+            return cached
+    try:
+        layering = _compute_bfs_layers(network, root)
+    except _Unsupported:
+        layering = None
+    if version is not None:
+        per_graph = _BFS_LAYER_CACHE.get(id(graph))
+        if per_graph is None:
+            per_graph = _BFS_LAYER_CACHE[id(graph)] = {}
+            weakref.finalize(graph, _BFS_LAYER_CACHE.pop, id(graph), None)
+        if any(entry[0] != version for entry in per_graph):
+            per_graph.clear()  # drop layerings of a mutated topology
+        per_graph[key] = layering
+    if layering is None:
+        raise _Unsupported("the topology is disconnected: the flood never ends")
+    return layering
+
+
+def _compute_bfs_layers(
+    network: Network, root: int
+) -> Tuple[Dict[int, int], Dict[int, Optional[int]]]:
+    depth: Dict[int, int] = {root: 0}
+    frontier = [root]
+    while frontier:
+        next_frontier: List[int] = []
+        for node in frontier:
+            for neighbor in network.neighbors(node):
+                if neighbor not in depth:
+                    depth[neighbor] = depth[node] + 1
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    if len(depth) != network.num_nodes:
+        raise _Unsupported("the topology is disconnected: the flood never ends")
+    parent: Dict[int, Optional[int]] = {root: None}
+    for node in network.nodes:
+        if node == root:
+            continue
+        d = depth[node]
+        # The node program adopts min(explore_msgs, key=(payload depth,
+        # sender)); all offers carry depth d - 1, so the min-id neighbor
+        # one level up wins.
+        parent[node] = min(
+            u for u in network.neighbors(node) if depth[u] == d - 1
+        )
+    return depth, parent
+
+
+def _bfs_plan(network: Network, schema: TreeSchema, word_bits: int) -> _TreePlan:
+    root = schema.root
+    tag = schema.tag
+    nodes = list(network.nodes)
+    order = {node: i for i, node in enumerate(nodes)}
+    if root not in order:
+        raise _Unsupported(f"root {root} is not a node of the network")
+    depth, parent = _bfs_layers(network, root)
+    height = max(depth.values())
+
+    children: Dict[int, List[int]] = {node: [] for node in nodes}
+    for node in nodes:  # node order = the adopt inbox order children arrive in
+        if node != root:
+            children[parent[node]].append(node)
+
+    up: Dict[int, int] = {}
+    same: Dict[int, int] = {}
+    down: Dict[int, int] = {}
+    for node in nodes:
+        d = depth[node]
+        u = s = dn = 0
+        for neighbor in network.neighbors(node):
+            nd = depth[neighbor]
+            if nd == d - 1:
+                u += 1
+            elif nd == d:
+                s += 1
+            else:
+                dn += 1
+        up[node], same[node], down[node] = u, s, dn
+
+    # pending_neighbors empties at d (only up-neighbors), d+1 (same-depth
+    # explores rejected) or d+2 (down-neighbors' adopt/reject replies).
+    pending_empty = {
+        node: depth[node]
+        + (2 if down[node] else 1 if same[node] else 0)
+        for node in nodes
+    }
+    # Echo round: all children echoed and the pending set is empty.  The
+    # root's floor of 1 covers the single-node network (first receive call).
+    echo: Dict[int, int] = {}
+    for node in sorted(nodes, key=lambda v: -depth[v]):
+        t = pending_empty[node]
+        if node == root:
+            t = max(t, 1)
+        for child in children[node]:
+            t = max(t, echo[child] + 1)
+        echo[node] = t
+    stop_start = echo[root]
+    rounds = stop_start + height
+
+    explore_bits = [
+        message_size_bits(("explore", d), tag=tag, word_bits=word_bits)
+        for d in range(height + 1)
+    ]
+    adopt_bits = message_size_bits(("adopt",), tag=tag, word_bits=word_bits)
+    reject_bits = message_size_bits(("reject",), tag=tag, word_bits=word_bits)
+    done_bits = message_size_bits(("done",), tag=tag, word_bits=word_bits)
+    stop_bits = message_size_bits(("stop",), tag=tag, word_bits=word_bits)
+
+    msgs = [0] * rounds
+    bits = [0] * rounds
+    max_message = [0] * rounds
+    max_edge = [0] * rounds
+
+    def add(t: int, count: int, per_bits: int) -> None:
+        if count:
+            msgs[t] += count
+            bits[t] += count * per_bits
+            if per_bits > max_message[t]:
+                max_message[t] = per_bits
+            if per_bits > max_edge[t]:
+                max_edge[t] = per_bits
+
+    add(0, len(network.neighbors(root)), explore_bits[0])
+    for node in nodes:
+        d = depth[node]
+        kids = len(children[node])
+        if node == root:
+            add(stop_start, kids, stop_bits)
+            continue
+        add(d, same[node] + down[node], explore_bits[d])
+        add(d, 1, adopt_bits)
+        add(d, up[node] - 1, reject_bits)
+        add(d + 1, same[node], reject_bits)
+        add(echo[node], 1, done_bits)
+        add(stop_start + d, kids, stop_bits)
+        if echo[node] == d:
+            # Adopt and done leave on the same parent edge in one round.
+            combo = adopt_bits + done_bits
+            if combo > max_edge[d]:
+                max_edge[d] = combo
+
+    def materialize(t: int) -> List[Tuple[int, int, Tuple[Any, ...]]]:
+        out: List[Tuple[int, int, Tuple[Any, ...]]] = []
+        for node in nodes:
+            d = depth[node]
+            neighbors = network.neighbors(node)
+            if node == root:
+                if t == 0:
+                    out.extend((node, nb, ("explore", 0)) for nb in neighbors)
+                if t == stop_start:
+                    out.extend((node, c, ("stop",)) for c in children[node])
+                continue
+            if t == d:
+                p = parent[node]
+                out.append((node, p, ("adopt",)))
+                rejected = sorted(
+                    (u for u in neighbors if depth[u] == d - 1 and u != p),
+                    key=order.__getitem__,
+                )
+                out.extend((node, u, ("reject",)) for u in rejected)
+                out.extend(
+                    (node, nb, ("explore", d))
+                    for nb in neighbors
+                    if depth[nb] != d - 1
+                )
+            if t == d + 1 and same[node]:
+                peers = sorted(
+                    (u for u in neighbors if depth[u] == d),
+                    key=order.__getitem__,
+                )
+                out.extend((node, u, ("reject",)) for u in peers)
+            if t == echo[node]:
+                out.append((node, parent[node], ("done",)))
+            if t == stop_start + d:
+                out.extend((node, c, ("stop",)) for c in children[node])
+        return out
+
+    memory = {
+        node: {
+            "parent": parent[node],
+            "depth": depth[node],
+            "children": list(children[node]),
+            "pending_neighbors": set(),
+            "echoed_children": set(children[node]),
+            "sent_echo": True,
+            "explored": True,
+        }
+        for node in nodes
+    }
+    return _TreePlan(rounds, msgs, bits, max_message, max_edge, materialize, memory)
+
+
+# --------------------------------------------------------------------------- #
+# Pipelined broadcast
+# --------------------------------------------------------------------------- #
+def _broadcast_plan(network: Network, schema: TreeSchema, word_bits: int) -> _TreePlan:
+    tree = _tree_arrays(network, schema)
+    values = list(schema.values)
+    k = len(values)
+    nodes = tree.nodes
+    height = tree.height
+
+    def final_memory() -> Dict[int, Dict[str, Any]]:
+        memory = {}
+        for node in nodes:
+            entry: Dict[str, Any] = {
+                "expected": k,
+                "children": list(tree.children[node]),
+                "received": list(values),
+            }
+            if node == tree.root:
+                entry["forwarded"] = k
+            memory[node] = entry
+        return memory
+
+    if k == 0 or height == 0:
+        return _empty_plan(final_memory())
+
+    bc_bits = [
+        message_size_bits(("bc", i, values[i]), tag=schema.tag, word_bits=word_bits)
+        for i in range(k)
+    ]
+    # layer[d] = number of tree edges out of depth-d parents (= nodes at d+1).
+    layer = [0] * height
+    for node in nodes:
+        d = tree.depth[node]
+        if d >= 1:
+            layer[d - 1] += 1
+
+    rounds = height + k - 1
+    msgs = [0] * rounds
+    bits = [0] * rounds
+    for d in range(height):
+        edges = layer[d]
+        for i in range(k):  # value i leaves depth-d parents at t = d + i
+            msgs[d + i] += edges
+            bits[d + i] += edges * bc_bits[i]
+    # Each tree edge carries at most one bc message per round, so the edge
+    # load equals the largest value in the round's sliding index window.
+    max_message = [0] * rounds
+    window: deque = deque()  # indices i with decreasing bc_bits
+    for t in range(rounds):
+        if t < k:
+            while window and bc_bits[window[-1]] <= bc_bits[t]:
+                window.pop()
+            window.append(t)
+        while window and window[0] < t - height + 1:
+            window.popleft()
+        max_message[t] = bc_bits[window[0]]
+    max_edge = list(max_message)
+
+    def materialize(t: int) -> List[Tuple[int, int, Tuple[Any, ...]]]:
+        out: List[Tuple[int, int, Tuple[Any, ...]]] = []
+        for node in nodes:
+            kids = tree.children[node]
+            if not kids:
+                continue
+            i = t - tree.depth[node]
+            if 0 <= i < k:
+                payload = ("bc", i, values[i])
+                out.extend((node, child, payload) for child in kids)
+        return out
+
+    return _TreePlan(
+        rounds, msgs, bits, max_message, max_edge, materialize, final_memory()
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Convergecast
+# --------------------------------------------------------------------------- #
+def _convergecast_plan(
+    network: Network, schema: TreeSchema, word_bits: int
+) -> _TreePlan:
+    tree = _tree_arrays(network, schema)
+    nodes = tree.nodes
+    node_values = schema.node_values
+    for node in nodes:
+        if node not in node_values:
+            raise _Unsupported(f"convergecast is missing a value for node {node}")
+
+    # Emit round: leaves emit during initialize (t = 0); an inner node emits
+    # one round after its slowest child.  The fold applies children in their
+    # arrival order -- by (emit round, node order) -- exactly as the inbox
+    # interleaves them.
+    emit: Dict[int, int] = {}
+    acc: Dict[int, Any] = {}
+    combine = schema.combine
+    for node in sorted(nodes, key=lambda v: -tree.depth[v]):
+        kids = tree.children[node]
+        emit[node] = 1 + max((emit[c] for c in kids), default=-1)
+        value = node_values[node]
+        for child in sorted(kids, key=lambda c: (emit[c], tree.order[c])):
+            value = combine(value, acc[child])
+        acc[node] = value
+
+    memory = {}
+    for node in nodes:
+        entry: Dict[str, Any] = {
+            "children": list(tree.children[node]),
+            "pending": set(),
+            "accumulator": acc[node],
+            "parent": tree.parent[node],
+        }
+        if node == tree.root:
+            entry["result"] = acc[node]
+        memory[node] = entry
+
+    rounds = emit[tree.root]
+    if rounds == 0:
+        return _empty_plan(memory)
+
+    msgs = [0] * rounds
+    bits = [0] * rounds
+    max_message = [0] * rounds
+    agg_bits = {
+        node: message_size_bits(
+            ("agg", acc[node]), tag=schema.tag, word_bits=word_bits
+        )
+        for node in nodes
+        if node != tree.root
+    }
+    for node, b in agg_bits.items():
+        t = emit[node]
+        msgs[t] += 1
+        bits[t] += b
+        if b > max_message[t]:
+            max_message[t] = b
+    max_edge = list(max_message)  # one upward message per edge per round
+
+    def materialize(t: int) -> List[Tuple[int, int, Tuple[Any, ...]]]:
+        return [
+            (node, tree.parent[node], ("agg", acc[node]))
+            for node in nodes
+            if node != tree.root and emit[node] == t
+        ]
+
+    return _TreePlan(rounds, msgs, bits, max_message, max_edge, materialize, memory)
+
+
+# --------------------------------------------------------------------------- #
+# Pipelined gather (upcast)
+# --------------------------------------------------------------------------- #
+def _gather_plan(
+    network: Network, schema: TreeSchema, word_bits: int, max_rounds: int
+) -> _TreePlan:
+    tree = _tree_arrays(network, schema)
+    nodes = tree.nodes
+    n = len(nodes)
+    order = tree.order
+    root = tree.root
+    root_idx = order[root]
+    records = schema.records or {}
+    tag = schema.tag
+    end_payload = ("end",)
+    end_bits = message_size_bits(end_payload, tag=tag, word_bits=word_bits)
+
+    # Lightweight queue simulation over (payload, bits) pairs: the schedule
+    # depends on how the per-child streams interleave, so it is replayed --
+    # but without Message objects, context dispatch or inbox pooling.
+    queues: List[deque] = []
+    pending: List[int] = []
+    halted = [False] * n
+    parent_idx = [-1] * n
+    own_records: List[List[Any]] = []
+    for i, node in enumerate(nodes):
+        recs = list(records.get(node, []))
+        own_records.append(recs)
+        queues.append(
+            deque(
+                (("rec", record), message_size_bits(("rec", record), tag=tag, word_bits=word_bits))
+                for record in recs
+            )
+        )
+        pending.append(len(tree.children[node]))
+        if node != root:
+            parent_idx[i] = order[tree.parent[node]]
+    collected: List[Any] = list(own_records[root_idx])
+
+    sends_by_t: List[List[Tuple[int, int, Tuple[Any, ...], int]]] = []
+    active = 0
+
+    def step(i: int, out: List[Tuple[int, int, Tuple[Any, ...], int]]) -> None:
+        if i != root_idx and queues[i]:
+            payload, b = queues[i].popleft()
+            out.append((i, parent_idx[i], payload, b))
+            return
+        if pending[i] == 0 and not queues[i]:
+            if i == root_idx:
+                halted[i] = True
+            else:
+                out.append((i, parent_idx[i], end_payload, end_bits))
+                halted[i] = True
+
+    init_sends: List[Tuple[int, int, Tuple[Any, ...], int]] = []
+    for i in range(n):
+        step(i, init_sends)
+    sends_by_t.append(init_sends)
+    active = n - sum(halted)
+
+    rounds = 0
+    while active and rounds <= max_rounds:
+        rounds += 1
+        for sender, receiver, payload, b in sends_by_t[rounds - 1]:
+            if payload[0] == "rec":
+                if receiver == root_idx:
+                    collected.append(payload[1])
+                else:
+                    queues[receiver].append((payload, b))
+            else:
+                pending[receiver] -= 1
+        current: List[Tuple[int, int, Tuple[Any, ...], int]] = []
+        for i in range(n):
+            if halted[i]:
+                continue
+            if i == root_idx:
+                queues[i].clear()  # the root only accumulates
+            step(i, current)
+            if halted[i]:
+                active -= 1
+        sends_by_t.append(current)
+
+    msgs = [0] * rounds
+    bits = [0] * rounds
+    max_message = [0] * rounds
+    for t in range(rounds):
+        for _, _, _, b in sends_by_t[t]:
+            msgs[t] += 1
+            bits[t] += b
+            if b > max_message[t]:
+                max_message[t] = b
+    max_edge = list(max_message)  # one upward message per edge per round
+
+    memory = {}
+    for i, node in enumerate(nodes):
+        memory[node] = {
+            "queue": [],
+            "collected": list(collected) if node == root else list(own_records[i]),
+            "children_pending": set(),
+            "parent": tree.parent[node],
+            "sent_end": node != root,
+        }
+
+    def materialize(t: int) -> List[Tuple[int, int, Tuple[Any, ...]]]:
+        return [
+            (nodes[sender], nodes[receiver], payload)
+            for sender, receiver, payload, _ in sends_by_t[t]
+        ]
+
+    return _TreePlan(rounds, msgs, bits, max_message, max_edge, materialize, memory)
+
+
+# --------------------------------------------------------------------------- #
+# Entry points used by the dense engine
+# --------------------------------------------------------------------------- #
+def _plan(
+    network: Network, schema: TreeSchema, max_rounds: int
+) -> _TreePlan:
+    word_bits = network.word_bits
+    if schema.kind == "bfs":
+        return _bfs_plan(network, schema, word_bits)
+    if schema.kind == "broadcast":
+        return _broadcast_plan(network, schema, word_bits)
+    if schema.kind == "convergecast":
+        return _convergecast_plan(network, schema, word_bits)
+    if schema.kind == "gather":
+        return _gather_plan(network, schema, word_bits, max_rounds)
+    raise _Unsupported(f"unknown tree kind {schema.kind!r}")
+
+
+def tree_supports(
+    network: Network,
+    schema: TreeSchema,
+    initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
+) -> bool:
+    """Cheap eligibility check: the declared tree (or, for ``bfs``, the
+    topology) must be one whose schedule the planners reproduce exactly."""
+    if initial_memory:
+        return False
+    try:
+        if schema.kind == "bfs":
+            if schema.root not in set(network.nodes):
+                return False
+            _bfs_layers(network, schema.root)
+        elif schema.kind in ("broadcast", "convergecast", "gather"):
+            tree = _tree_arrays(network, schema)
+            if schema.kind == "convergecast":
+                node_values = schema.node_values
+                if any(node not in node_values for node in tree.nodes):
+                    return False
+        else:
+            return False
+    except _Unsupported:
+        return False
+    return True
+
+
+def run_tree(
+    network: Network,
+    algorithm: NodeAlgorithm,
+    schema: TreeSchema,
+    max_rounds: int,
+    initial_memory: Optional[Dict[int, Dict[str, Any]]] = None,
+    halt_on_quiescence: bool = False,
+    observer: Optional[Any] = None,
+) -> SimulationResult:
+    """Execute a tree-schema run; accounting is bit-identical to sparse."""
+    name = algorithm.name
+    if initial_memory:
+        raise ValueError(
+            f"dense engine cannot execute protocol '{name}' with pre-loaded memory"
+        )
+    try:
+        plan = _plan(network, schema, max_rounds)
+    except _Unsupported as error:
+        raise ValueError(
+            f"dense engine cannot execute protocol '{name}': {error}"
+        ) from None
+
+    rounds = plan.rounds
+    if halt_on_quiescence and any(plan.msgs[t] == 0 for t in range(1, rounds)):
+        # An idle round mid-protocol would make the sparse engine's
+        # quiescence halt truncate the run; no bundled tree primitive stalls
+        # mid-stream, so fail loudly instead of diverging silently.
+        raise ValueError(
+            f"dense engine cannot honor halt_on_quiescence for protocol "
+            f"'{name}': the schedule has an idle round mid-protocol"
+        )
+
+    bandwidth = network.bandwidth_bits
+    strict = network.config.strict_bandwidth
+    tag = schema.tag
+    report = RoundReport(protocol=name)
+    for r in range(1, rounds + 1):
+        if r > max_rounds:
+            raise RoundLimitExceeded(
+                f"protocol '{name}' exceeded {max_rounds} rounds"
+            )
+        t = r - 1
+        max_edge_charge = 1
+        if plan.msgs[t]:
+            report.total_messages += plan.msgs[t]
+            report.total_bits += plan.bits[t]
+            if plan.max_message[t] > report.max_message_bits:
+                report.max_message_bits = plan.max_message[t]
+            if plan.max_edge[t] > bandwidth:
+                if strict:
+                    _raise_first_violation(
+                        name, plan.materialize(t), tag, network.word_bits, bandwidth
+                    )
+                max_edge_charge = math.ceil(plan.max_edge[t] / bandwidth)
+        report.rounds += 1
+        report.congested_rounds += max_edge_charge
+        if observer is not None:
+            observer(
+                r,
+                [
+                    Message(sender=s, receiver=v, payload=payload, tag=tag)
+                    for s, v, payload in plan.materialize(t)
+                ],
+            )
+
+    contexts: Dict[int, NodeContext] = {}
+    for node in network.nodes:
+        ctx = NodeContext(node=node, network=network)
+        ctx.memory.update(plan.memory[node])
+        ctx._halted = True
+        contexts[node] = ctx
+    outputs = {node: algorithm.output(contexts[node]) for node in network.nodes}
+    return SimulationResult(outputs=outputs, report=report, contexts=contexts)
+
+
+def _raise_first_violation(
+    name: str,
+    messages: List[Tuple[int, int, Tuple[Any, ...]]],
+    tag: str,
+    word_bits: int,
+    bandwidth: int,
+) -> None:
+    """Replicate the sparse engine's per-round edge scan exactly: sum the
+    per-edge bits in enqueue order, then raise on the first over-budget edge
+    in first-insertion order -- same edge, same error text."""
+    edge_bits: Dict[Tuple[int, int], int] = {}
+    for sender, receiver, payload in messages:
+        key = (sender, receiver)
+        edge_bits[key] = edge_bits.get(key, 0) + message_size_bits(
+            payload, tag=tag, word_bits=word_bits
+        )
+    for bits in edge_bits.values():
+        if bits > bandwidth:
+            raise ValueError(
+                f"protocol '{name}' exceeded the bandwidth: {bits} bits on "
+                f"one edge in one round (B={bandwidth})"
+            )
+    raise AssertionError("aggregate accounting flagged a violation none exists for")

@@ -16,25 +16,32 @@ keys).
 
 A :class:`~repro.congest.algorithm.NodeAlgorithm` opts in by returning a
 :class:`MinPlusSchema` from :meth:`message_schema`; Bellman-Ford SSSP/APSP
-(and hence unweighted BFS flooding) in :mod:`repro.congest.sssp`, the
-min-id leader-election flood in :mod:`repro.congest.primitives`, and the
+(and hence unweighted BFS flooding) in :mod:`repro.congest.sssp` and the
 announce-schedule protocols of :mod:`repro.nanongkai` (Algorithm 2
 bounded-distance SSSP -- and through it the Algorithm 1 level loop -- plus
-the delay-staggered Algorithm 3 multi-source run) do.  The schema is purely
-declarative -- the sparse/legacy engines ignore it, and the differential
-tests assert that the dense execution of a schema is bit-identical to
-running the node program itself.
+the delay-staggered Algorithm 3 multi-source run) do.
+
+The second family is :class:`TreeSchema`: the flood/echo tree primitives of
+:mod:`repro.congest.primitives` (BFS-tree construction, pipelined broadcast,
+convergecast, pipelined gather, and the min-id leader-election flood).
+Their round structure is fixed by the tree alone -- a flood phase, per-edge
+pipelined up/down phases, and an echo-terminated stop wave -- so the dense
+engine computes the whole message schedule analytically instead of
+interpreting ``receive`` per node.  Every schema is purely declarative --
+the sparse/legacy/sharded engines ignore it, and the differential tests
+assert that the dense execution of a schema is bit-identical to running the
+node program itself.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, ClassVar, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.congest.message import encode_value, message_size_bits
 
-__all__ = ["MinPlusSchema"]
+__all__ = ["MinPlusSchema", "TreeSchema"]
 
 
 @dataclass(frozen=True)
@@ -170,3 +177,84 @@ class MinPlusSchema:
         if self.flatten_keys and isinstance(key, tuple):
             return (self.label, *key, encoded)
         return (self.label, key, encoded)
+
+
+@dataclass(frozen=True)
+class TreeSchema:
+    """Declarative description of a tree primitive (the flood/echo family).
+
+    One schema per protocol ``kind``:
+
+    * ``"bfs"`` -- flood-and-echo BFS-tree construction from ``root``
+      (explore flood, adopt/reject replies, echo up, stop wave down).  The
+      whole schedule is determined by the topology, so only ``root`` is
+      declared.
+    * ``"broadcast"`` -- pipelined root-to-all broadcast of ``values`` over
+      an existing tree: one value per tree edge per round, in index order.
+    * ``"convergecast"`` -- bottom-up aggregation of ``node_values`` with
+      ``combine`` (associative + commutative) over an existing tree.
+    * ``"gather"`` -- pipelined upcast of per-node ``records`` to the root
+      over an existing tree: each node forwards at most one record per
+      round and signals completion with an ``end`` marker.
+    * ``"flood"`` -- a round-budgeted min flood (leader election); the
+      actual execution semantics are carried by the wrapped
+      :attr:`flood` :class:`MinPlusSchema`.
+
+    The tree-shaped kinds declare the tree as plain mappings
+    (``parent`` / ``children`` / ``depth``, exactly the contents of
+    :class:`repro.congest.primitives.BfsTree`) so the schema layer stays
+    free of protocol-layer imports.  Like :class:`MinPlusSchema`, the
+    schema must describe the node program *exactly*: the dense engine
+    derives the full per-round message schedule (payloads, senders and
+    receivers included) from it, and the differential tests require
+    bit-identical :class:`~repro.congest.engine.types.RoundReport` numbers
+    against the engines that interpret the node program.
+    """
+
+    kind: str
+    tag: str = ""
+    root: Optional[int] = None
+    parent: Optional[Mapping[int, Optional[int]]] = None
+    children: Optional[Mapping[int, Sequence[int]]] = None
+    depth: Optional[Mapping[int, int]] = None
+    values: Optional[Tuple[Any, ...]] = None
+    node_values: Optional[Mapping[int, Any]] = None
+    records: Optional[Mapping[int, Sequence[Any]]] = None
+    combine: Optional[Callable[[Any, Any], Any]] = None
+    flood: Optional[MinPlusSchema] = None
+
+    KINDS: ClassVar[Tuple[str, ...]] = (
+        "bfs",
+        "broadcast",
+        "convergecast",
+        "gather",
+        "flood",
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"unknown TreeSchema kind {self.kind!r}; expected one of {self.KINDS}"
+            )
+        if self.kind == "flood":
+            if self.flood is None:
+                raise ValueError("TreeSchema kind 'flood' needs a MinPlusSchema")
+            return
+        if self.root is None:
+            raise ValueError(f"TreeSchema kind {self.kind!r} needs a root")
+        if self.kind == "bfs":
+            return
+        if self.parent is None or self.children is None or self.depth is None:
+            raise ValueError(
+                f"TreeSchema kind {self.kind!r} needs the parent/children/depth maps"
+            )
+        if self.kind == "broadcast" and self.values is None:
+            raise ValueError("TreeSchema kind 'broadcast' needs the value tuple")
+        if self.kind == "convergecast" and (
+            self.node_values is None or self.combine is None
+        ):
+            raise ValueError(
+                "TreeSchema kind 'convergecast' needs node_values and combine"
+            )
+        if self.kind == "gather" and self.records is None:
+            raise ValueError("TreeSchema kind 'gather' needs the records map")

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
-from repro.congest.engine.schema import MinPlusSchema
+from repro.congest.engine.schema import MinPlusSchema, TreeSchema
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.simulator import RoundReport, Simulator
@@ -100,6 +100,11 @@ class _BfsTreeAlgorithm(NodeAlgorithm):
 
     def __init__(self, root: int) -> None:
         self._root = root
+
+    def message_schema(self) -> TreeSchema:
+        # The explore/adopt/reject/done/stop schedule is fully determined by
+        # the topology and the root; the dense engine derives it analytically.
+        return TreeSchema(kind="bfs", tag="bfs", root=self._root)
 
     def initialize(self, ctx: NodeContext) -> None:
         memory = ctx.memory
@@ -185,17 +190,50 @@ class _BfsTreeAlgorithm(NodeAlgorithm):
         }
 
 
+def _unreachable_from(network: Network, root: int) -> List[int]:
+    """Nodes the explore flood can never reach (normally none: a freshly
+    constructed :class:`Network` is connected, but the underlying graph is
+    mutable and may have been disconnected afterwards)."""
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in network.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return [node for node in network.nodes if node not in seen]
+
+
 def build_bfs_tree(network: Network, root: int) -> Tuple[BfsTree, RoundReport]:
-    """Construct a BFS tree rooted at ``root`` and return it with its round cost."""
+    """Construct a BFS tree rooted at ``root`` and return it with its round cost.
+
+    Raises
+    ------
+    KeyError
+        If ``root`` is not a node of the network.
+    ValueError
+        If the network has become disconnected (the graph is mutable), naming
+        the nodes the flood cannot reach.  Checked up front -- on a
+        disconnected topology the unreached nodes would never halt and the
+        protocol would grind into the round limit -- and therefore
+        identically on every execution engine.
+    """
     if root not in network.graph:
         raise KeyError(f"root {root} is not a node of the network")
+    unreachable = _unreachable_from(network, root)
+    if unreachable:
+        raise ValueError(
+            f"BFS tree rooted at {root} cannot reach nodes {unreachable}: "
+            "the network topology is disconnected"
+        )
     simulator = Simulator(network)
     result = simulator.run(_BfsTreeAlgorithm(root))
     parent = {node: out["parent"] for node, out in result.outputs.items()}
     depth = {node: out["depth"] for node, out in result.outputs.items()}
     children = {node: out["children"] for node, out in result.outputs.items()}
     missing = [node for node, d in depth.items() if d is None]
-    if missing:
+    if missing:  # pragma: no cover - the reachability pre-check rules this out
         raise RuntimeError(f"BFS tree did not reach nodes {missing}")
     tree = BfsTree(root=root, parent=parent, depth=depth, children=children)
     return tree, result.report
@@ -205,7 +243,20 @@ def build_bfs_tree(network: Network, root: int) -> Tuple[BfsTree, RoundReport]:
 # Broadcast over an existing BFS tree
 # --------------------------------------------------------------------------- #
 class _TreeBroadcastAlgorithm(NodeAlgorithm):
-    """Pipeline a list of values from the root down an existing BFS tree."""
+    """Pipeline a list of values from the root down an existing BFS tree.
+
+    True pipelining: the root injects *one* value per round (index order),
+    every node forwards the one value it received this round, so each tree
+    edge carries at most one ``bc`` message per round and the whole
+    broadcast fits any bandwidth that fits a single value.  ``received`` is
+    therefore ordered by index at every node, and the root halts only once
+    it has forwarded its last value -- ``O(height + len(values))`` rounds.
+
+    (The previous implementation pushed all ``k`` values down every tree
+    edge in one round, inflating ``congested_rounds`` by
+    ``ceil(k * bits / B)`` and raising under ``strict_bandwidth`` for any
+    non-trivial ``k``.)
+    """
 
     name = "tree-broadcast"
 
@@ -213,25 +264,59 @@ class _TreeBroadcastAlgorithm(NodeAlgorithm):
         self._tree = tree
         self._values = list(values)
 
+    def message_schema(self) -> TreeSchema:
+        return TreeSchema(
+            kind="broadcast",
+            tag="bcast",
+            root=self._tree.root,
+            parent=self._tree.parent,
+            children=self._tree.children,
+            depth=self._tree.depth,
+            values=tuple(self._values),
+        )
+
+    def _forward_one(self, ctx: NodeContext) -> None:
+        memory = ctx.memory
+        index = memory["forwarded"]
+        if index < memory["expected"]:
+            value = self._values[index]
+            for child in memory["children"]:
+                ctx.send(child, ("bc", index, value), tag="bcast")
+            memory["forwarded"] = index + 1
+
     def initialize(self, ctx: NodeContext) -> None:
-        ctx.memory["received"] = []
-        ctx.memory["expected"] = len(self._values)
-        ctx.memory["children"] = self._tree.children.get(ctx.node, [])
+        memory = ctx.memory
+        memory["expected"] = len(self._values)
+        memory["children"] = list(self._tree.children.get(ctx.node, []))
         if ctx.node == self._tree.root:
-            ctx.memory["received"] = list(self._values)
-            for index, value in enumerate(self._values):
-                for child in ctx.memory["children"]:
-                    ctx.send(child, ("bc", index, value), tag="bcast")
-            if not ctx.memory["children"] or not self._values:
+            memory["received"] = list(self._values)
+            if not memory["children"]:
+                memory["forwarded"] = memory["expected"]  # nothing to pipeline
                 ctx.halt()
-            ctx.memory["forwarded"] = len(self._values)
+                return
+            memory["forwarded"] = 0
+            self._forward_one(ctx)
+            if memory["forwarded"] >= memory["expected"]:
+                ctx.halt()
+        else:
+            memory["received"] = []
+            if memory["expected"] == 0:
+                ctx.halt()
 
     def receive(
         self, ctx: NodeContext, round_number: int, messages: List[Message]
     ) -> None:
         memory = ctx.memory
+        if ctx.node == self._tree.root:
+            # The root's empty inboxes are its pipeline clock ticks.
+            self._forward_one(ctx)
+            if memory["forwarded"] >= memory["expected"]:
+                ctx.halt()
+            return
         for message in messages:
             _, index, value = message.payload
+            # The parent emits one value per round in index order, so
+            # appending keeps ``received`` ordered by index.
             memory["received"].append(value)
             for child in memory["children"]:
                 ctx.send(child, ("bc", index, value), tag="bcast")
@@ -263,11 +348,18 @@ def broadcast_values_from(
     values: List[Any],
     tree: Optional[BfsTree] = None,
 ) -> Tuple[Dict[int, List[Any]], RoundReport]:
-    """Pipeline ``values`` from ``root`` to all nodes in ``O(D + len(values))`` rounds."""
+    """Pipeline ``values`` from ``root`` to all nodes in ``O(D + len(values))`` rounds.
+
+    A supplied ``tree`` must be rooted at ``root`` (mirroring
+    :func:`gather_values_to`); broadcasting from ``tree.root`` instead of the
+    requested root would silently answer a different question.
+    """
     reports: List[RoundReport] = []
     if tree is None:
         tree, tree_report = build_bfs_tree(network, root)
         reports.append(tree_report)
+    elif tree.root != root:
+        raise ValueError("the supplied BFS tree is rooted elsewhere")
     simulator = Simulator(network)
     result = simulator.run(_TreeBroadcastAlgorithm(tree, values))
     reports.append(result.report)
@@ -286,6 +378,18 @@ class _ConvergecastAlgorithm(NodeAlgorithm):
         self._tree = tree
         self._values = values
         self._combine = combine
+
+    def message_schema(self) -> TreeSchema:
+        return TreeSchema(
+            kind="convergecast",
+            tag="cc",
+            root=self._tree.root,
+            parent=self._tree.parent,
+            children=self._tree.children,
+            depth=self._tree.depth,
+            node_values=self._values,
+            combine=self._combine,
+        )
 
     def initialize(self, ctx: NodeContext) -> None:
         memory = ctx.memory
@@ -329,6 +433,8 @@ def convergecast_aggregate(
     """Aggregate ``values`` (one per node) to the root with ``combine``.
 
     ``combine`` must be associative and commutative (max, min, +, ...).
+    When both ``tree`` and ``root`` are supplied they must agree (the same
+    check :func:`gather_values_to` and :func:`broadcast_values_from` make).
     """
     reports: List[RoundReport] = []
     if tree is None:
@@ -336,6 +442,8 @@ def convergecast_aggregate(
             root = min(network.nodes)
         tree, tree_report = build_bfs_tree(network, root)
         reports.append(tree_report)
+    elif root is not None and tree.root != root:
+        raise ValueError("the supplied BFS tree is rooted elsewhere")
     missing = [node for node in network.nodes if node not in values]
     if missing:
         raise ValueError(f"convergecast is missing values for nodes {missing}")
@@ -395,6 +503,17 @@ class _TreeGatherAlgorithm(NodeAlgorithm):
     def __init__(self, tree: BfsTree, records: Dict[int, List[Any]]) -> None:
         self._tree = tree
         self._records = records
+
+    def message_schema(self) -> TreeSchema:
+        return TreeSchema(
+            kind="gather",
+            tag="gather",
+            root=self._tree.root,
+            parent=self._tree.parent,
+            children=self._tree.children,
+            depth=self._tree.depth,
+            records=self._records,
+        )
 
     def initialize(self, ctx: NodeContext) -> None:
         memory = ctx.memory
@@ -475,18 +594,24 @@ class _MinIdFloodAlgorithm(NodeAlgorithm):
     def __init__(self, round_budget: int) -> None:
         self._round_budget = round_budget
 
-    def message_schema(self) -> MinPlusSchema:
+    def message_schema(self) -> TreeSchema:
         # A single anonymous min column seeded with each node's own id,
-        # flooded unchanged ("min", id) until the round budget halts everyone.
-        return MinPlusSchema(
-            label="min",
+        # flooded unchanged ("min", id) until the round budget halts
+        # everyone.  Declared as the tree family's flood member; the dense
+        # engine executes the wrapped min-plus schema unchanged.
+        return TreeSchema(
+            kind="flood",
             tag="lead",
-            keys=None,
-            initial=lambda node: [node],
-            send_initial="all",
-            add_edge_weight=False,
-            round_budget=self._round_budget,
-            finalize=lambda node, row: {"best": int(row[0])},
+            flood=MinPlusSchema(
+                label="min",
+                tag="lead",
+                keys=None,
+                initial=lambda node: [node],
+                send_initial="all",
+                add_edge_weight=False,
+                round_budget=self._round_budget,
+                finalize=lambda node, row: {"best": int(row[0])},
+            ),
         )
 
     def initialize(self, ctx: NodeContext) -> None:

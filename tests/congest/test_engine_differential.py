@@ -13,7 +13,7 @@ so any engine divergence is a correctness bug.
 in this file already crosses it (at the "auto" shard count); the dedicated
 section at the bottom additionally sweeps ``REPRO_SHARDS`` in {1, 2, 4} and
 the multiprocessing worker mode over the announce-schedule (Algorithm 2/3)
-protocols.
+protocols and a composite flood/echo tree-primitive run.
 """
 
 from __future__ import annotations
@@ -165,26 +165,283 @@ def test_diameter_radius_eccentricity_pipelines_identical(name):
         _assert_identical(_run_on_all_engines(protocol))
 
 
-@pytest.mark.parametrize("name", ["path", "star", "random-1"])
-def test_schema_less_primitives_identical(name):
-    """BFS tree / broadcast / convergecast / gather run on the general engines
-    under every forced preference (dense falls back without a schema)."""
-    network = NETWORKS[name]
+# --------------------------------------------------------------------------- #
+# Tree-primitive schemas (the flood/echo family): the dense engine executes
+# BFS-tree build, pipelined broadcast, convergecast, pipelined gather and the
+# min-id leader flood from their TreeSchema declarations, bit-identically to
+# the engines that interpret the node programs.
+# --------------------------------------------------------------------------- #
+def _tree_protocols(network):
     root = min(network.nodes)
     records = {node: [node, node + 1] for node in network.nodes}
     values = {node: node for node in network.nodes}
 
     def build():
         tree, report = build_bfs_tree(network, root)
-        return {"parent": tree.parent, "depth": tree.depth}, report
+        return (
+            {"parent": tree.parent, "depth": tree.depth, "children": tree.children},
+            report,
+        )
 
+    return {
+        "bfs-tree": build,
+        "broadcast": lambda: broadcast_values_from(network, root, ["a", "b", "c"]),
+        "gather": lambda: gather_values_to(network, root, records),
+        "convergecast": lambda: convergecast_sum(network, values),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(NETWORKS))
+def test_tree_primitives_identical(name):
+    """The whole flood/echo family, across the full topology zoo (the
+    composite wrappers also cover the BFS-build + tree-phase report sums)."""
+    network = NETWORKS[name]
+    for protocol in _tree_protocols(network).values():
+        _assert_identical(_run_on_all_engines(protocol))
+
+
+@pytest.mark.parametrize("name", ["path", "star", "random-1"])
+def test_tree_primitives_with_prebuilt_tree_identical(name):
+    """Tree-phase runs alone (no BFS-build prefix), over a shared tree."""
+    network = NETWORKS[name]
+    root = min(network.nodes)
+    tree, _ = build_bfs_tree(network, root)
+    records = {node: [(node, "r")] for node in network.nodes}
+    values = {node: 3 * node - 7 for node in network.nodes}
     for protocol in (
-        build,
-        lambda: broadcast_values_from(network, root, ["a", "b", "c"]),
-        lambda: gather_values_to(network, root, records),
-        lambda: convergecast_sum(network, values),
+        lambda: broadcast_values_from(network, root, list(range(6)), tree=tree),
+        lambda: gather_values_to(network, root, records, tree=tree),
+        lambda: convergecast_sum(network, values, tree=tree),
     ):
         _assert_identical(_run_on_all_engines(protocol))
+
+
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+def test_tree_primitives_are_dense_eligible():
+    """The flood/echo family must actually *run* dense, not fall back."""
+    from repro.congest.engine import get_engine
+    from repro.congest.primitives import (
+        _BfsTreeAlgorithm,
+        _ConvergecastAlgorithm,
+        _MinIdFloodAlgorithm,
+        _TreeBroadcastAlgorithm,
+        _TreeGatherAlgorithm,
+    )
+
+    network = NETWORKS["random-0"]
+    root = min(network.nodes)
+    tree, _ = build_bfs_tree(network, root)
+    dense = get_engine("dense")
+    algorithms = [
+        _BfsTreeAlgorithm(root),
+        _TreeBroadcastAlgorithm(tree, ["a", "b"]),
+        _ConvergecastAlgorithm(tree, {node: node for node in network.nodes}, max),
+        _TreeGatherAlgorithm(tree, {node: [node] for node in network.nodes}),
+        _MinIdFloodAlgorithm(4),
+    ]
+    for algorithm in algorithms:
+        assert dense.supports(network, algorithm), algorithm.name
+        # An explicit engine request must execute (it raises when unsupported).
+        result = Simulator(network).run(algorithm, engine="dense")
+        assert result.report.rounds > 0
+
+
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+def test_tree_schema_ineligible_runs_fall_back():
+    """Pre-loaded memory and trees the planner cannot validate stay on the
+    engines that interpret the node program."""
+    from repro.congest.engine import get_engine
+    from repro.congest.primitives import BfsTree, _TreeBroadcastAlgorithm
+
+    network = NETWORKS["path"]
+    root = min(network.nodes)
+    tree, _ = build_bfs_tree(network, root)
+    dense = get_engine("dense")
+    algorithm = _TreeBroadcastAlgorithm(tree, [1, 2])
+    assert not dense.supports(
+        network, algorithm, initial_memory={root: {"x": 1}}
+    )
+    # A tree whose edges are not network edges would make the node program
+    # raise on its first send; the planner declines instead of guessing.
+    nodes = sorted(network.nodes)
+    bogus = BfsTree(
+        root=root,
+        parent={node: (None if node == root else root) for node in nodes},
+        depth={node: (0 if node == root else 1) for node in nodes},
+        children={root: [node for node in nodes if node != root]},
+    )
+    assert not dense.supports(network, _TreeBroadcastAlgorithm(bogus, [1]))
+
+
+def test_tree_strict_bandwidth_parity():
+    """The first over-budget edge -- here the adopt+done combo a leaf sends
+    its parent in one round -- must raise the same error on every engine."""
+    from repro.congest.primitives import _BfsTreeAlgorithm
+
+    graph = random_weighted_graph(12, average_degree=3.0, max_weight=9, seed=5)
+    network = Network(
+        graph,
+        CongestConfig(bandwidth_words=1, word_bits_override=8, strict_bandwidth=True),
+    )
+    messages = {}
+    for engine in ENGINES:
+        with pytest.raises(ValueError) as excinfo:
+            Simulator(network).run(
+                _BfsTreeAlgorithm(min(network.nodes)), engine=engine
+            )
+        messages[engine] = str(excinfo.value)
+    assert len(set(messages.values())) == 1, messages
+
+
+def test_tree_round_limit_parity():
+    """A round limit below the pipeline length fails identically everywhere."""
+    from repro.congest.primitives import _TreeBroadcastAlgorithm
+
+    network = NETWORKS["path"]
+    tree, _ = build_bfs_tree(network, min(network.nodes))
+    messages = {}
+    for engine in ENGINES:
+        with pytest.raises(RoundLimitExceeded) as excinfo:
+            Simulator(network, max_rounds=3).run(
+                _TreeBroadcastAlgorithm(tree, list(range(9))), engine=engine
+            )
+        messages[engine] = str(excinfo.value)
+    assert len(set(messages.values())) == 1, messages
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("kind", ["bfs", "broadcast", "convergecast", "gather"])
+def test_tree_observer_streams_identical(engine, kind):
+    """Observers of a tree-schema run see the same per-round message
+    multisets the sparse engine delivers -- the dense engine materializes
+    every round of the analytic schedule exactly."""
+    from repro.congest.primitives import (
+        _BfsTreeAlgorithm,
+        _ConvergecastAlgorithm,
+        _TreeBroadcastAlgorithm,
+        _TreeGatherAlgorithm,
+    )
+
+    network = NETWORKS["random-1"]
+    root = min(network.nodes)
+    tree, _ = build_bfs_tree(network, root)
+    # Broadcast values longer than the tree is deep, with the *largest*
+    # payloads first: exercises the sliding-window edge charges.
+    values = [10**9, 10**6, "x", 3, 1, 0, 2, 1, 0, 3, 1]
+    algorithms = {
+        "bfs": lambda: _BfsTreeAlgorithm(root),
+        "broadcast": lambda: _TreeBroadcastAlgorithm(tree, values),
+        "convergecast": lambda: _ConvergecastAlgorithm(
+            tree, {node: node % 5 for node in network.nodes}, min
+        ),
+        "gather": lambda: _TreeGatherAlgorithm(
+            tree, {node: [node] for node in network.nodes}
+        ),
+    }
+
+    def record(target_engine):
+        rounds = []
+
+        def observer(round_number, delivered):
+            rounds.append(
+                (
+                    round_number,
+                    sorted(
+                        (m.sender, m.receiver, m.payload, m.tag) for m in delivered
+                    ),
+                )
+            )
+
+        Simulator(network).run(
+            algorithms[kind](), observer=observer, engine=target_engine
+        )
+        return rounds
+
+    assert record(engine) == record("sparse")
+
+
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+def test_tree_schema_validation_declines_malformed_trees():
+    """Every malformed tree shape the planner cannot reproduce falls back
+    (the interpreting engines then fail the node program's own way)."""
+    from repro.congest.engine import get_engine
+    from repro.congest.primitives import BfsTree, _ConvergecastAlgorithm, _TreeGatherAlgorithm
+
+    network = NETWORKS["path"]
+    nodes = sorted(network.nodes)
+    tree, _ = build_bfs_tree(network, nodes[0])
+    dense = get_engine("dense")
+    records = {node: [node] for node in nodes}
+
+    def variant(**overrides):
+        base = {
+            "root": tree.root,
+            "parent": dict(tree.parent),
+            "depth": dict(tree.depth),
+            "children": {n: list(c) for n, c in tree.children.items()},
+        }
+        base.update(overrides)
+        return BfsTree(**base)
+
+    missing_depth = variant(depth={n: d for n, d in tree.depth.items() if n != nodes[-1]})
+    bad_root = variant(parent={**tree.parent, tree.root: nodes[1]})
+    broken_depth = variant(depth={**tree.depth, nodes[-1]: 0})
+    orphan = variant(parent={**tree.parent, nodes[-1]: None})
+    bad_children = variant(children={**tree.children, nodes[-1]: [nodes[0]]})
+    for bogus in (missing_depth, bad_root, broken_depth, orphan, bad_children):
+        assert not dense.supports(network, _TreeGatherAlgorithm(bogus, records))
+    foreign_root = variant(root=987654)
+    assert not dense.supports(network, _TreeGatherAlgorithm(foreign_root, records))
+    # Convergecast additionally needs a value for every node.
+    partial_values = {node: node for node in nodes[1:]}
+    assert not dense.supports(
+        network, _ConvergecastAlgorithm(tree, partial_values, max)
+    )
+
+
+@pytest.mark.skipif("dense" not in ENGINES, reason="dense engine needs NumPy")
+def test_tree_schema_dense_guards():
+    """Disconnected BFS floods and pre-loaded memory are declined up front;
+    an explicit dense request with pre-loaded memory fails loudly."""
+    from repro.congest.engine import get_engine
+    from repro.congest.primitives import _BfsTreeAlgorithm, _TreeGatherAlgorithm
+    from repro.graphs import WeightedGraph
+
+    graph = WeightedGraph(edges=[(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+    network = Network(graph)
+    graph.remove_edge(1, 2)
+    dense = get_engine("dense")
+    assert not dense.supports(network, _BfsTreeAlgorithm(0))
+    assert not dense.supports(network, _BfsTreeAlgorithm(99))
+
+    connected = NETWORKS["path"]
+    tree, _ = build_bfs_tree(connected, min(connected.nodes))
+    algorithm = _TreeGatherAlgorithm(tree, {n: [] for n in connected.nodes})
+    memory = {min(connected.nodes): {"x": 1}}
+    assert not dense.supports(connected, algorithm, initial_memory=memory)
+    # An explicit Simulator request refuses at resolution time; invoking the
+    # engine directly must still fail loudly rather than drop the memory.
+    with pytest.raises(ValueError, match="dense"):
+        Simulator(connected).run(algorithm, initial_memory=memory, engine="dense")
+    with pytest.raises(ValueError, match="pre-loaded memory"):
+        dense.run(connected, algorithm, max_rounds=100, initial_memory=memory)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_tree_runs_support_quiescence_halting(engine):
+    """The flood/echo schedules never go idle mid-protocol, so quiescence
+    halting charges exactly the natural round count on every engine."""
+    from repro.congest.primitives import _TreeBroadcastAlgorithm
+
+    network = NETWORKS["random-0"]
+    tree, _ = build_bfs_tree(network, min(network.nodes))
+    algorithm = _TreeBroadcastAlgorithm(tree, [1, 2, 3])
+    plain = Simulator(network).run(algorithm, engine=engine)
+    quiescent = Simulator(network).run(
+        algorithm, halt_on_quiescence=True, engine=engine
+    )
+    assert quiescent.report == plain.report
+    assert quiescent.outputs == plain.outputs
 
 
 def test_bounded_distance_sssp_with_initial_memory_identical():
@@ -423,9 +680,31 @@ class _NoSchema(NodeAlgorithm):
 # shard count (REPRO_SHARDS in {1, 2, 4}) and in multiprocessing worker mode,
 # including the announce-schedule (Algorithm 2/3) networks.
 # --------------------------------------------------------------------------- #
+def _sharded_tree_protocol(network):
+    """One composite flood/echo run: BFS build + broadcast + gather +
+    convergecast, with the summed report (folds the tree primitives into the
+    sharded cross-product)."""
+    root = min(network.nodes)
+    tree, build_report = build_bfs_tree(network, root)
+    _, broadcast_report = broadcast_values_from(
+        network, root, ["a", "b", "c"], tree=tree
+    )
+    collected, gather_report = gather_values_to(
+        network, root, {node: [node] for node in network.nodes}, tree=tree
+    )
+    total, convergecast_report = convergecast_sum(
+        network, {node: node for node in network.nodes}, tree=tree
+    )
+    report = build_report
+    for partial in (broadcast_report, gather_report, convergecast_report):
+        report = report.merge_sequential(partial)
+    return (tree.parent, tree.depth, collected, total), report
+
+
 _SHARDED_PROTOCOLS = {
     "weighted-apsp": lambda network: distributed_weighted_apsp(network),
     "leader-election": lambda network: elect_leader(network),
+    "tree-primitives": _sharded_tree_protocol,
     "algorithm-2": lambda network: bounded_distance_sssp_protocol(
         network, min(network.nodes), 20
     ),

@@ -5,7 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.congest import (
+    CongestConfig,
     Network,
+    Simulator,
     broadcast_from,
     build_bfs_tree,
     convergecast_max,
@@ -13,12 +15,18 @@ from repro.congest import (
     convergecast_sum,
     elect_leader,
 )
-from repro.congest.primitives import broadcast_values_from, gather_values_to
+from repro.congest.primitives import (
+    _TreeBroadcastAlgorithm,
+    broadcast_values_from,
+    convergecast_aggregate,
+    gather_values_to,
+)
 from repro.graphs import (
     WeightedGraph,
     dijkstra,
     grid_graph,
     path_graph,
+    random_weighted_graph,
     star_graph,
 )
 
@@ -66,6 +74,20 @@ class TestBfsTree:
         with pytest.raises(KeyError):
             build_bfs_tree(random_network, 9999)
 
+    def test_disconnected_network_raises_naming_unreachable_nodes(self):
+        """A graph disconnected after Network construction must fail with a
+        clear ValueError naming the unreachable nodes -- identically on
+        every engine -- instead of grinding into the round limit."""
+        from repro.congest import available_engines, force_engine
+
+        graph = WeightedGraph(edges=[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)])
+        network = Network(graph)
+        graph.remove_edge(2, 3)
+        for engine in available_engines():
+            with force_engine(engine):
+                with pytest.raises(ValueError, match=r"\[3, 4\]"):
+                    build_bfs_tree(network, 0)
+
     def test_nodes_by_depth(self, path_network):
         tree, _ = build_bfs_tree(path_network, 0)
         layers = tree.nodes_by_depth()
@@ -98,6 +120,93 @@ class TestBroadcast:
         received, _ = broadcast_values_from(random_network, 0, [])
         assert all(v == [] for v in received.values())
 
+    def test_received_ordered_by_index(self, random_network):
+        tree, _ = build_bfs_tree(random_network, 0)
+        values = ["v0", "v1", "v2", "v3", "v4"]
+        received, _ = broadcast_values_from(random_network, 0, values, tree=tree)
+        assert all(v == values for v in received.values())
+
+    def test_wrong_tree_root_rejected(self, path_network):
+        """A supplied tree must match the requested root (mirrors gather)."""
+        tree, _ = build_bfs_tree(path_network, 1)
+        with pytest.raises(ValueError, match="rooted elsewhere"):
+            broadcast_values_from(path_network, 0, [1, 2], tree=tree)
+        with pytest.raises(ValueError, match="rooted elsewhere"):
+            broadcast_from(path_network, 0, "x", tree=tree)
+
+
+class TestBroadcastPipelining:
+    """The tentpole bugfix: one value per tree edge per round."""
+
+    @staticmethod
+    def _per_edge_per_round(network, tree, values, engine):
+        per_round: list = []
+
+        def observer(round_number, delivered):
+            counts: dict = {}
+            for message in delivered:
+                counts[(message.sender, message.receiver)] = (
+                    counts.get((message.sender, message.receiver), 0) + 1
+                )
+            per_round.append(counts)
+
+        Simulator(network).run(
+            _TreeBroadcastAlgorithm(tree, values), observer=observer, engine=engine
+        )
+        return per_round
+
+    @pytest.mark.parametrize("engine", ["sparse", "legacy"])
+    def test_at_most_one_bc_message_per_edge_per_round(self, engine):
+        network = Network(random_weighted_graph(18, average_degree=3.0, seed=2))
+        tree, _ = build_bfs_tree(network, 0)
+        per_round = self._per_edge_per_round(
+            network, tree, list(range(12)), engine
+        )
+        assert per_round, "the broadcast delivered no rounds"
+        for counts in per_round:
+            assert counts and max(counts.values()) == 1
+
+    def test_exact_round_counts_on_a_path(self):
+        # 5 words of 8 bits: one ("bc", index, value) message (~34 bits)
+        # fits a round, so pipelining incurs no congestion surcharge.
+        network = Network(
+            path_graph(7, max_weight=5, seed=1), CongestConfig(bandwidth_words=5)
+        )
+        tree, _ = build_bfs_tree(network, 0)
+        height = tree.height
+        for k in (1, 2, 3, 8):
+            _, report = broadcast_values_from(
+                network, 0, list(range(k)), tree=tree
+            )
+            assert report.rounds == height + k - 1, k
+            # One value per edge per round: no congestion surcharge.
+            assert report.congested_rounds == report.rounds, k
+
+    def test_strict_bandwidth_broadcast_completes(self):
+        """The acceptance scenario: 32 pipelined values through an n=64
+        strict-bandwidth network, on every engine, in <= depth + k rounds.
+        (The old all-values-per-round broadcast raised here.)"""
+        from repro.congest import available_engines, force_engine
+
+        network = Network(
+            random_weighted_graph(64, average_degree=4.0, max_weight=50, seed=11),
+            CongestConfig(bandwidth_words=12, strict_bandwidth=True),
+        )
+        root = min(network.nodes)
+        values = list(range(32))
+        reports = {}
+        for engine in available_engines():
+            with force_engine(engine):
+                tree, _ = build_bfs_tree(network, root)
+                received, report = broadcast_values_from(
+                    network, root, values, tree=tree
+                )
+            assert all(v == values for v in received.values())
+            assert report.rounds <= tree.height + len(values)
+            reports[engine] = (received, report)
+        reference = next(iter(reports.values()))
+        assert all(result == reference for result in reports.values())
+
 
 class TestConvergecast:
     def test_max(self, random_network):
@@ -126,6 +235,19 @@ class TestConvergecast:
     def test_missing_values_rejected(self, random_network):
         with pytest.raises(ValueError):
             convergecast_max(random_network, {0: 1})
+
+    def test_conflicting_tree_and_root_rejected(self, path_network):
+        """Passing both a tree and a root demands they agree (symmetric to
+        the gather/broadcast check)."""
+        tree, _ = build_bfs_tree(path_network, 1)
+        values = {node: node for node in path_network.nodes}
+        with pytest.raises(ValueError, match="rooted elsewhere"):
+            convergecast_aggregate(path_network, values, max, tree=tree, root=0)
+        # Agreeing tree+root (and tree alone) still work.
+        result, _ = convergecast_aggregate(
+            path_network, values, max, tree=tree, root=1
+        )
+        assert result == max(values.values())
 
     def test_rounds_scale_with_depth(self):
         star = Network(star_graph(30))

@@ -13,7 +13,7 @@ from repro.congest import (
     convergecast_sum,
     distributed_bellman_ford,
 )
-from repro.congest.primitives import gather_values_to
+from repro.congest.primitives import broadcast_values_from, gather_values_to
 from repro.graphs import WeightedGraph, dijkstra
 
 
@@ -88,6 +88,39 @@ def test_gather_collects_every_record(network, data):
     collected, _ = gather_values_to(network, network.nodes[0], records)
     expected = [record for per_node in records.values() for record in per_node]
     assert sorted(map(tuple, collected)) == sorted(expected)
+
+
+@given(random_networks(), st.integers(min_value=0, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_pipelined_broadcast_round_bound(network, k):
+    """True pipelining: exactly ``height + k - 1`` rounds (0 without values),
+    with no congestion surcharge -- one value per tree edge per round."""
+    root = network.nodes[0]
+    tree, _ = build_bfs_tree(network, root)
+    values = list(range(k))
+    received, report = broadcast_values_from(network, root, values, tree=tree)
+    assert all(v == values for v in received.values())
+    expected = tree.height + k - 1 if k and tree.height else 0
+    assert report.rounds == expected
+    assert report.rounds <= tree.height + k  # the documented O(D + k) bound
+
+
+@given(random_networks(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_pipelined_gather_round_bound(network, data):
+    """The upcast drains in at most ``height + total records (+1)`` rounds."""
+    root = network.nodes[0]
+    tree, _ = build_bfs_tree(network, root)
+    records = {
+        node: [node] * data.draw(st.integers(min_value=0, max_value=3))
+        for node in network.nodes
+    }
+    total = sum(len(per_node) for per_node in records.values())
+    collected, report = gather_values_to(network, root, records, tree=tree)
+    assert sorted(collected) == sorted(
+        record for per_node in records.values() for record in per_node
+    )
+    assert report.rounds <= tree.height + total + 1
 
 
 @given(random_networks())
