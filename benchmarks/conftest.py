@@ -4,15 +4,30 @@ Every benchmark regenerates one of the paper's tables or figures as a
 plain-text artifact: it prints the table to stdout (so ``pytest benchmarks/
 --benchmark-only -s`` shows everything) and also writes it under
 ``benchmarks/results/`` so EXPERIMENTS.md can point at stable files.
+
+Next to each human-readable table, benchmarks also drop a machine-readable
+``BENCH_<name>.json`` twin (via :func:`record_json`) so the performance
+trajectory is diffable across PRs without parsing rendered tables.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="session")
@@ -31,6 +46,32 @@ def record_artifact(results_dir):
         path.write_text(content + "\n")
         print()
         print(content)
+        return path
+
+    return _record
+
+
+@pytest.fixture
+def record_json(results_dir):
+    """Return a function that persists a machine-readable benchmark artifact.
+
+    ``payload`` should carry the workload identity, the engine configuration
+    and the measured numbers; the fixture adds the machine context (CPU count,
+    Python version) every reading needs for interpretation -- a 1-core runner
+    cannot show a multiprocessing win, and the JSON must say so.
+    """
+
+    def _record(name: str, payload: dict) -> Path:
+        document = {
+            "benchmark": name,
+            "machine": {
+                "cpu_count": cpu_count(),
+                "python": platform.python_version(),
+            },
+        }
+        document.update(payload)
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
         return path
 
     return _record

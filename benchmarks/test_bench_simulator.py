@@ -19,11 +19,18 @@ the workload is dominated by the ``L + 1`` fixed schedule rounds, which the
 dense engine steps without per-node Python dispatch).
 
 A third table records shard-count scaling for the ``sharded`` engine
-(``REPRO_SHARDS`` in {1, 2, 4, 8}, shard-serial): the acceptance criterion is
-only that sharded never regresses below the legacy loop at ``n = 256`` (the
-shard-serial mode does sparse's work plus one routing pass; the
-multiprocessing win is opt-in via ``REPRO_SHARD_WORKERS``), with bit-identical
-reports at every shard count.
+(``REPRO_SHARDS`` in {1, 2, 4, 8}) with a shard-serial and a worker-mode
+column per row, against a ``sparse`` baseline.  ``REPRO_BENCH_SCALING_N``
+overrides the instance size (default 256; CI's benchmark job runs the
+n=1024 ladder where worker-retention is required to beat sparse).  The
+worker-mode floors only apply on machines with >= 2 usable CPUs -- a 1-core
+runner cannot show a multiprocessing win, exactly like the dense floors
+only apply when NumPy is installed -- and every configuration, floored or
+not, must stay bit-identical to sparse.
+
+Every table also emits a machine-readable ``BENCH_*.json`` twin (workload,
+engine config, measured seconds, speedups, CPU count) so the performance
+trajectory is diffable across PRs.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from __future__ import annotations
 import os
 import time
 
-from conftest import run_once
+from conftest import cpu_count, run_once
 
 from repro.analysis import render_table
 from repro.congest import Network, available_engines, force_engine
@@ -71,6 +78,7 @@ def _best_of(func, repeats):
 
 def _sweep():
     rows = []
+    records = []
     speedups = {}
     for n in NODE_COUNTS:
         network = Network(
@@ -106,11 +114,21 @@ def _sweep():
                     identical,
                 ]
             )
-    return rows, speedups
+            records.append(
+                {
+                    "workload": "weighted-apsp",
+                    "engine": engine,
+                    "n": n,
+                    "seconds": round(elapsed, 4),
+                    "rounds": report.rounds,
+                    "speedup_vs_legacy": round(legacy_time / elapsed, 3),
+                }
+            )
+    return rows, speedups, records
 
 
-def test_bench_simulator_engines(benchmark, record_artifact):
-    rows, speedups = run_once(benchmark, _sweep)
+def test_bench_simulator_engines(benchmark, record_artifact, record_json):
+    rows, speedups, records = run_once(benchmark, _sweep)
     record_artifact(
         "simulator_engines",
         render_table(
@@ -118,6 +136,10 @@ def test_bench_simulator_engines(benchmark, record_artifact):
             rows,
             title="CONGEST engine wall-clock: weighted APSP simulation",
         ),
+    )
+    record_json(
+        "simulator_engines",
+        {"workload": "weighted-apsp", "node_counts": list(NODE_COUNTS), "rows": records},
     )
     largest = NODE_COUNTS[-1]
     for engine, floor in REQUIRED_SPEEDUP.items():
@@ -152,6 +174,7 @@ def _bounded_distance_sweep():
     )
     source = min(network.nodes)
     rows = []
+    records = []
     reference = None
     legacy_time = None
     dense_speedup = None
@@ -186,11 +209,22 @@ def _bounded_distance_sweep():
                 identical,
             ]
         )
-    return rows, dense_speedup
+        records.append(
+            {
+                "workload": "bounded-distance-sssp",
+                "engine": engine,
+                "n": BD_NODE_COUNT,
+                "max_distance": BD_MAX_DISTANCE,
+                "seconds": round(elapsed, 4),
+                "rounds": report.rounds,
+                "speedup_vs_legacy": round(legacy_time / elapsed, 3),
+            }
+        )
+    return rows, dense_speedup, records
 
 
-def test_bench_bounded_distance_sssp_engines(benchmark, record_artifact):
-    rows, dense_speedup = run_once(benchmark, _bounded_distance_sweep)
+def test_bench_bounded_distance_sssp_engines(benchmark, record_artifact, record_json):
+    rows, dense_speedup, records = run_once(benchmark, _bounded_distance_sweep)
     record_artifact(
         "simulator_bounded_distance",
         render_table(
@@ -198,6 +232,10 @@ def test_bench_bounded_distance_sssp_engines(benchmark, record_artifact):
             rows,
             title="CONGEST engine wall-clock: bounded-distance SSSP (Algorithm 2)",
         ),
+    )
+    record_json(
+        "simulator_bounded_distance",
+        {"workload": "bounded-distance-sssp", "n": BD_NODE_COUNT, "rows": records},
     )
     if dense_speedup is not None:  # dense absent without NumPy
         assert dense_speedup >= BD_REQUIRED_DENSE_SPEEDUP, (
@@ -236,7 +274,7 @@ def _tree_primitive_sweep():
     with force_engine("legacy"):
         tree, _ = build_bfs_tree(network, root)
     values = list(range(TREE_BROADCAST_VALUES))
-    records = {
+    gather_records = {
         node: [(node, i) for i in range(TREE_RECORDS_PER_NODE)]
         for node in network.nodes
     }
@@ -246,13 +284,14 @@ def _tree_primitive_sweep():
             network, root, values, tree=tree
         )
         collected, gather_report = gather_values_to(
-            network, root, records, tree=tree
+            network, root, gather_records, tree=tree
         )
         return (received, collected), broadcast_report.merge_sequential(
             gather_report
         )
 
     rows = []
+    records = []
     reference = None
     legacy_time = None
     dense_speedup = None
@@ -282,11 +321,21 @@ def _tree_primitive_sweep():
                 identical,
             ]
         )
-    return rows, dense_speedup
+        records.append(
+            {
+                "workload": "tree-primitives",
+                "engine": engine,
+                "n": TREE_NODE_COUNT,
+                "seconds": round(elapsed, 4),
+                "rounds": report.rounds,
+                "speedup_vs_legacy": round(legacy_time / elapsed, 3),
+            }
+        )
+    return rows, dense_speedup, records
 
 
-def test_bench_tree_primitives_engines(benchmark, record_artifact):
-    rows, dense_speedup = run_once(benchmark, _tree_primitive_sweep)
+def test_bench_tree_primitives_engines(benchmark, record_artifact, record_json):
+    rows, dense_speedup, records = run_once(benchmark, _tree_primitive_sweep)
     record_artifact(
         "simulator_tree_primitives",
         render_table(
@@ -298,6 +347,10 @@ def test_bench_tree_primitives_engines(benchmark, record_artifact):
             ),
         ),
     )
+    record_json(
+        "simulator_tree_primitives",
+        {"workload": "tree-primitives", "n": TREE_NODE_COUNT, "rows": records},
+    )
     if dense_speedup is not None:  # dense absent without NumPy
         assert dense_speedup >= TREE_REQUIRED_DENSE_SPEEDUP, (
             f"dense tree primitives reached only {dense_speedup:.1f}x over "
@@ -307,54 +360,119 @@ def test_bench_tree_primitives_engines(benchmark, record_artifact):
 
 
 # --------------------------------------------------------------------------- #
-# Shard-count scaling: the sharded engine across REPRO_SHARDS (shard-serial).
+# Shard-count scaling: the sharded engine across REPRO_SHARDS, shard-serial
+# vs worker-retained, against a sparse baseline.
 # --------------------------------------------------------------------------- #
 SHARD_COUNTS = (1, 2, 4, 8)
-SHARD_SCALING_NODE_COUNT = 256
+
+#: Instance-size override: CI's benchmark job runs the n=1024 ladder where
+#: worker-retention must beat sparse; the tier-1 default stays cheap.
+SCALING_N_ENV_VAR = "REPRO_BENCH_SCALING_N"
+DEFAULT_SCALING_N = 256
+
+#: The beats-sparse floor only applies at or above this instance size: below
+#: it the per-round pipe latency is not amortized by enough per-round work
+#: for the win to be load-robust (the ISSUE-6 criterion is n >= 1024).
+WORKER_BEATS_SPARSE_MIN_N = 1024
 
 SHARD_HEADERS = [
     "shards",
     "n",
     "boundary edges",
-    "time [s]",
-    "rounds/sec",
-    "speedup vs legacy",
+    "cross-worker edges",
+    "serial [s]",
+    "serial vs sparse",
+    "workers",
+    "worker [s]",
+    "worker vs sparse",
     "identical",
 ]
 
 
+def _scaling_node_count() -> int:
+    raw = os.environ.get(SCALING_N_ENV_VAR, "").strip()
+    return int(raw) if raw else DEFAULT_SCALING_N
+
+
 def _shard_scaling_sweep():
+    n = _scaling_node_count()
+    cores = cpu_count()
     network = Network(
-        random_weighted_graph(
-            SHARD_SCALING_NODE_COUNT, average_degree=4.0, max_weight=100, seed=7
-        )
+        random_weighted_graph(n, average_degree=4.0, max_weight=100, seed=7)
     )
-    with force_engine("legacy"):
-        legacy_time, reference = _best_of(
+    with force_engine("sparse"):
+        sparse_time, reference = _best_of(
             lambda: distributed_weighted_apsp(network), repeats=1
         )
     rows = []
+    records = []
+    timings = {}
     saved = {var: os.environ.get(var) for var in (SHARDS_ENV_VAR, WORKERS_ENV_VAR)}
-    os.environ.pop(WORKERS_ENV_VAR, None)  # shard-serial: isolate routing cost
     try:
         for shards in SHARD_COUNTS:
             os.environ[SHARDS_ENV_VAR] = str(shards)
+            view = network.shard_view(shards)
+
+            os.environ.pop(WORKERS_ENV_VAR, None)  # serial: isolate routing cost
             with force_engine("sharded"):
-                elapsed, (outputs, report) = _best_of(
+                serial_time, (outputs, report) = _best_of(
                     lambda: distributed_weighted_apsp(network), repeats=1
                 )
             matches = outputs == reference[0] and report == reference[1]
-            assert matches, f"sharded diverged from legacy at {shards} shards"
+            assert matches, f"shard-serial diverged from sparse at {shards} shards"
+
+            # Worker mode: as many workers as shards allow, up to the CPU
+            # count (floored at 2 so even a 1-core runner measures -- and
+            # records -- the multiprocessing overhead honestly).
+            workers = min(shards, max(2, cores)) if shards > 1 else 1
+            if workers > 1:
+                os.environ[WORKERS_ENV_VAR] = str(workers)
+                with force_engine("sharded"):
+                    worker_time, (w_outputs, w_report) = _best_of(
+                        lambda: distributed_weighted_apsp(network), repeats=1
+                    )
+                worker_matches = (
+                    w_outputs == reference[0] and w_report == reference[1]
+                )
+                assert worker_matches, (
+                    f"worker mode diverged from sparse at {shards} shards"
+                )
+                matches = matches and worker_matches
+            else:
+                worker_time = serial_time  # 1 shard degenerates to serial
+
+            timings[shards] = (serial_time, worker_time)
+            cross_worker = (
+                view.cross_worker_edge_count(workers) if workers > 1 else 0
+            )
             rows.append(
                 [
                     shards,
-                    SHARD_SCALING_NODE_COUNT,
-                    network.shard_view(shards).cross_shard_edge_count,
-                    f"{elapsed:.3f}",
-                    f"{report.rounds / elapsed:.1f}",
-                    f"{legacy_time / elapsed:.1f}x",
+                    n,
+                    view.cross_shard_edge_count,
+                    cross_worker,
+                    f"{serial_time:.3f}",
+                    f"{sparse_time / serial_time:.2f}x",
+                    workers,
+                    f"{worker_time:.3f}",
+                    f"{sparse_time / worker_time:.2f}x",
                     "yes" if matches else "NO",
                 ]
+            )
+            records.append(
+                {
+                    "workload": "weighted-apsp",
+                    "engine": "sharded",
+                    "n": n,
+                    "shards": shards,
+                    "workers": workers,
+                    "boundary_edges": view.cross_shard_edge_count,
+                    "cross_worker_edges": cross_worker,
+                    "serial_seconds": round(serial_time, 4),
+                    "worker_seconds": round(worker_time, 4),
+                    "serial_speedup_vs_sparse": round(sparse_time / serial_time, 3),
+                    "worker_speedup_vs_sparse": round(sparse_time / worker_time, 3),
+                }
             )
     finally:
         for var, value in saved.items():
@@ -362,19 +480,52 @@ def _shard_scaling_sweep():
                 os.environ.pop(var, None)
             else:
                 os.environ[var] = value
-    return rows
+    return n, cores, sparse_time, rows, records, timings
 
 
-def test_bench_sharded_shard_scaling(benchmark, record_artifact):
-    rows = run_once(benchmark, _shard_scaling_sweep)
+def test_bench_sharded_shard_scaling(benchmark, record_artifact, record_json):
+    n, cores, sparse_time, rows, records, timings = run_once(
+        benchmark, _shard_scaling_sweep
+    )
     record_artifact(
         "simulator_sharded_scaling",
         render_table(
             SHARD_HEADERS,
             rows,
             title=(
-                "Sharded engine shard-count scaling: weighted APSP, "
-                "shard-serial deliver/compute"
+                f"Sharded engine shard-count scaling: weighted APSP, "
+                f"shard-serial vs worker-retained ({cores} CPU(s), "
+                f"sparse baseline {sparse_time:.3f}s)"
             ),
         ),
+    )
+    record_json(
+        "sharded_scaling",
+        {
+            "workload": "weighted-apsp",
+            "n": n,
+            "sparse_seconds": round(sparse_time, 4),
+            "shard_counts": list(SHARD_COUNTS),
+            "rows": records,
+        },
+    )
+    # The worker-mode floors need real parallelism *and* enough per-round
+    # work to amortize the pipe traffic: like the dense floors are skipped
+    # without NumPy, these are skipped on a single-CPU runner and below the
+    # n=1024 ladder (bit-identity above is asserted unconditionally --
+    # correctness never depends on the machine).
+    if cores < 2 or n < WORKER_BEATS_SPARSE_MIN_N:
+        return
+    first, last = SHARD_COUNTS[0], SHARD_COUNTS[-1]
+    slope_start = timings[first][0]
+    slope_end = timings[last][1]
+    assert slope_end < slope_start, (
+        f"the 1 -> {last} shard curve does not slope downward: worker mode "
+        f"at {last} shards took {slope_end:.3f}s vs {slope_start:.3f}s "
+        f"shard-serial at {first} shard"
+    )
+    best_worker = min(worker for _serial, worker in timings.values())
+    assert best_worker < sparse_time, (
+        f"worker-retained sharding never beat sparse at n={n}: best "
+        f"{best_worker:.3f}s vs sparse {sparse_time:.3f}s"
     )

@@ -40,6 +40,11 @@ from repro.congest.engine import (
     get_engine,
     register_engine,
 )
+from repro.congest.engine.sharded import (
+    ShardWorkerError,
+    close_worker_pools,
+    shard_worker_pool,
+)
 from repro.congest.primitives import (
     build_bfs_tree,
     broadcast_from,
@@ -82,6 +87,9 @@ __all__ = [
     "force_engine",
     "get_engine",
     "register_engine",
+    "ShardWorkerError",
+    "close_worker_pools",
+    "shard_worker_pool",
     "build_bfs_tree",
     "broadcast_from",
     "convergecast_max",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.congest.algorithm import NodeContext
 from repro.congest.message import Message
@@ -139,6 +139,42 @@ class ShardRoundCharges:
     max_message_bits: int = 0
     max_edge_charge: int = 1
     violation_bits: Optional[int] = None
+
+    @staticmethod
+    def merge_into(
+        report: "RoundReport",
+        partials: Iterable[Optional["ShardRoundCharges"]],
+        protocol: str,
+        bandwidth: int,
+    ) -> int:
+        """Fold one round's per-shard partials (in shard order) into ``report``.
+
+        Returns the round's ``max_edge_charge`` (the congestion-adjusted cost
+        of the round); raises the strict-bandwidth :class:`ValueError` --
+        with exactly the sparse engine's message text -- on the first partial
+        carrying a violation.  ``None`` entries stand for shards that sent
+        nothing and contribute nothing.  Both sharded execution modes
+        (in-process shard-serial and worker-retained, where the partials
+        arrive over a pipe) merge through this one helper, so the
+        bit-identical accounting cannot drift between them.
+        """
+        max_edge_charge = 1
+        for charges in partials:
+            if charges is None or not charges.messages:
+                continue
+            if charges.violation_bits is not None:
+                raise ValueError(
+                    f"protocol '{protocol}' exceeded the bandwidth: "
+                    f"{charges.violation_bits} bits on one edge in one "
+                    f"round (B={bandwidth})"
+                )
+            report.total_messages += charges.messages
+            report.total_bits += charges.bits
+            if charges.max_message_bits > report.max_message_bits:
+                report.max_message_bits = charges.max_message_bits
+            if charges.max_edge_charge > max_edge_charge:
+                max_edge_charge = charges.max_edge_charge
+        return max_edge_charge
 
     @classmethod
     def from_messages(

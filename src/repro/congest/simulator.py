@@ -30,6 +30,15 @@ numbers and identical outputs, so which engine runs is purely a performance
 decision -- overridable per call (``engine=``), per process
 (:func:`repro.congest.engine.force_engine`) or per environment
 (``REPRO_ENGINE``).
+
+In sharded worker mode, intra-block messages are retained inside the worker
+that produced them (only boundary bundles and per-shard accounting partials
+cross the coordinator pipes), and consecutive ``run`` calls on the same
+network reuse a persistent forked worker pool instead of re-forking per run
+-- pin one explicitly with :func:`repro.congest.shard_worker_pool` for
+deterministic teardown.  Attaching an ``observer`` transparently falls back
+to fully materialized rounds so the observed message stream stays identical
+to the sparse engine's.
 """
 
 from __future__ import annotations

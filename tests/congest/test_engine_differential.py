@@ -732,11 +732,18 @@ def test_sharded_shard_counts_identical(monkeypatch, shards, name):
         assert result[1] == reference[1], (label, shards)
 
 
-def test_sharded_worker_mode_identical(monkeypatch):
-    """Forked workers must not perturb outputs, reports or announce gating."""
+@pytest.mark.parametrize(
+    "shards,workers", [("1", "2"), ("2", "2"), ("4", "2"), ("4", "4")]
+)
+def test_sharded_worker_mode_identical(monkeypatch, shards, workers):
+    """Forked workers must not perturb outputs, reports or announce gating.
+
+    Covers the retained-delivery protocol (no observer) across the shard x
+    worker grid, including the degenerate 1-shard case (workers clamp to 1,
+    i.e. shard-serial) and the one-shard-per-worker extreme."""
     network = NETWORKS["random-1"]
-    monkeypatch.setenv("REPRO_SHARDS", "4")
-    monkeypatch.setenv("REPRO_SHARD_WORKERS", "2")
+    monkeypatch.setenv("REPRO_SHARDS", shards)
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", workers)
     for label, protocol in _SHARDED_PROTOCOLS.items():
         with force_engine("sparse"):
             reference = protocol(network)
@@ -744,6 +751,33 @@ def test_sharded_worker_mode_identical(monkeypatch):
             result = protocol(network)
         assert result[0] == reference[0], label
         assert result[1] == reference[1], label
+
+
+def test_sharded_worker_strict_bandwidth_parity(monkeypatch):
+    """Strict-bandwidth violations must carry sparse's exact error text even
+    when the violating shard lives inside a forked worker (the per-shard
+    partials ship ``violation_bits`` back; the shard-order merge picks the
+    same first violation sparse would have raised on)."""
+    graph = random_weighted_graph(10, average_degree=3.0, max_weight=60, seed=5)
+    network = Network(
+        graph,
+        CongestConfig(bandwidth_words=1, word_bits_override=8, strict_bandwidth=True),
+    )
+    with pytest.raises(ValueError) as reference:
+        Simulator(network).run(
+            _BellmanFordAlgorithm(sorted(network.nodes)),
+            halt_on_quiescence=True,
+            engine="sparse",
+        )
+    monkeypatch.setenv("REPRO_SHARDS", "4")
+    monkeypatch.setenv("REPRO_SHARD_WORKERS", "2")
+    with pytest.raises(ValueError) as excinfo:
+        Simulator(network).run(
+            _BellmanFordAlgorithm(sorted(network.nodes)),
+            halt_on_quiescence=True,
+            engine="sharded",
+        )
+    assert str(excinfo.value) == str(reference.value)
 
 
 def test_sharded_strict_bandwidth_parity_per_shard_count(monkeypatch):

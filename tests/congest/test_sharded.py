@@ -10,14 +10,20 @@ multiprocessing worker mode, and the 1-shard degeneracy to sparse semantics.
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.congest import Network, NodeAlgorithm, Simulator, force_engine
 from repro.congest.engine.sharded import (
     SHARDS_ENV_VAR,
     WORKERS_ENV_VAR,
+    ShardWorkerError,
+    close_worker_pools,
     resolve_shard_count,
     resolve_worker_count,
+    shard_worker_pool,
 )
 from repro.congest.sssp import _BellmanFordAlgorithm, distributed_bellman_ford
 from repro.graphs import (
@@ -41,6 +47,94 @@ def network():
 def _clean_shard_env(monkeypatch):
     monkeypatch.delenv(SHARDS_ENV_VAR, raising=False)
     monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+
+
+@pytest.fixture(autouse=True)
+def _clean_pools():
+    yield
+    close_worker_pools()
+
+
+# Algorithms used by the worker-failure and pool tests.  Module-level classes
+# so they pickle by reference and the persistent-pool path (not just the
+# fresh-fork fallback) is what the tests exercise.
+class _PidRecorder(NodeAlgorithm):
+    """Records, per node, the pid of the process that ran its round."""
+
+    name = "pid-recorder"
+
+    def initialize(self, ctx):
+        ctx.broadcast(("tick", 0))
+
+    def receive(self, ctx, round_number, messages):
+        ctx.memory["worker_pid"] = os.getpid()
+        ctx.halt()
+
+
+class _ExplodingAt(NodeAlgorithm):
+    """Raises in every node's ``receive`` of one chosen round."""
+
+    name = "exploding-at"
+
+    def __init__(self, at_round: int) -> None:
+        self.at_round = at_round
+
+    def initialize(self, ctx):
+        ctx.broadcast(("tick", 0))
+
+    def receive(self, ctx, round_number, messages):
+        if round_number == self.at_round:
+            raise RuntimeError(f"worker boom in round {round_number}")
+        ctx.broadcast(("tick", round_number))
+
+
+class _KillOwnWorker(NodeAlgorithm):
+    """SIGKILLs the hosting process -- but only when it is a forked worker."""
+
+    name = "kill-own-worker"
+
+    def initialize(self, ctx):
+        ctx.memory["parent_pid"] = os.getpid()  # initialize runs in the parent
+        ctx.broadcast(("tick", 0))
+
+    def receive(self, ctx, round_number, messages):
+        if os.getpid() != ctx.memory["parent_pid"]:
+            os.kill(os.getpid(), signal.SIGKILL)
+        ctx.broadcast(("tick", round_number))
+
+
+class _UnpicklableError(Exception):
+    """An exception that cannot cross the pipe (closure attribute)."""
+
+    def __init__(self):
+        super().__init__("unpicklable boom")
+        self.hostage = lambda: None
+
+
+class _NoReprUnpicklableError(Exception):
+    """Unpicklable *and* its ``repr`` raises -- the worst-case fallback."""
+
+    def __init__(self):
+        super().__init__("boom")
+        self.hostage = lambda: None
+
+    def __repr__(self):
+        raise ValueError("repr exploded")
+
+
+class _RaisesInstance(NodeAlgorithm):
+    """Raises a given exception instance in round 1."""
+
+    name = "raises-instance"
+
+    def __init__(self, factory) -> None:
+        self.factory = factory
+
+    def initialize(self, ctx):
+        ctx.broadcast(("tick", 0))
+
+    def receive(self, ctx, round_number, messages):
+        raise self.factory()
 
 
 # --------------------------------------------------------------------------- #
@@ -264,3 +358,175 @@ class TestWorkerMode:
         with pytest.raises(RoundLimitExceeded) as worker_info:
             Simulator(network, max_rounds=11).run(algorithm, engine="sharded")
         assert str(worker_info.value) == str(serial_info.value)
+
+
+# --------------------------------------------------------------------------- #
+# Worker-failure handling: exception parity, tracebacks, dead workers,
+# unpicklable exceptions.
+# --------------------------------------------------------------------------- #
+class TestWorkerFailureHandling:
+    @pytest.fixture(autouse=True)
+    def _worker_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV_VAR, "4")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+
+    def test_exception_type_and_message_match_sparse(self, network, monkeypatch):
+        algorithm = _ExplodingAt(3)
+        monkeypatch.delenv(SHARDS_ENV_VAR)
+        monkeypatch.delenv(WORKERS_ENV_VAR)
+        with pytest.raises(RuntimeError) as sparse_info:
+            Simulator(network).run(algorithm, engine="sparse")
+        monkeypatch.setenv(SHARDS_ENV_VAR, "4")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        with pytest.raises(RuntimeError) as worker_info:
+            Simulator(network).run(algorithm, engine="sharded")
+        assert type(worker_info.value) is type(sparse_info.value)
+        assert str(worker_info.value) == str(sparse_info.value)
+
+    def test_worker_exception_carries_traceback_and_round(self, network):
+        with pytest.raises(RuntimeError, match="worker boom in round 3") as info:
+            Simulator(network).run(_ExplodingAt(3), engine="sharded")
+        cause = info.value.__cause__
+        assert isinstance(cause, ShardWorkerError)
+        text = str(cause)
+        assert "round 3" in text  # the failing round is named
+        assert "worker traceback" in text
+        # The worker-side traceback frames travelled the pipe intact.
+        assert "in receive" in text
+        assert "worker boom in round 3" in text
+
+    def test_killed_worker_raises_clear_error_not_eoferror(self, network):
+        with pytest.raises(ShardWorkerError) as info:
+            Simulator(network).run(_KillOwnWorker(), engine="sharded")
+        text = str(info.value)
+        assert "died without reporting a result" in text
+        assert "shard worker" in text
+        assert "shards" in text
+        assert f"signal {signal.SIGKILL}" in text
+        assert "round 1" in text
+        # The survivors were stopped: a follow-up run on the same network
+        # must work (a fresh pool replaces the broken one).
+        result = Simulator(network).run(
+            _PidRecorder(), halt_on_quiescence=True, engine="sharded"
+        )
+        assert sorted(result.contexts) == sorted(network.nodes)
+
+    def test_unpicklable_exception_still_reports(self, network):
+        with pytest.raises(
+            RuntimeError, match="unpicklable node-program exception"
+        ) as info:
+            Simulator(network).run(
+                _RaisesInstance(_UnpicklableError), engine="sharded"
+            )
+        assert "unpicklable boom" in str(info.value)  # repr(exc) made it over
+        assert isinstance(info.value.__cause__, ShardWorkerError)
+
+    def test_unpicklable_exception_with_raising_repr_still_reports(self, network):
+        with pytest.raises(
+            RuntimeError, match=r"whose repr\(\) raised"
+        ) as info:
+            Simulator(network).run(
+                _RaisesInstance(_NoReprUnpicklableError), engine="sharded"
+            )
+        assert "_NoReprUnpicklableError" in str(info.value)
+
+
+# --------------------------------------------------------------------------- #
+# Persistent worker pool: reuse, invalidation, teardown.
+# --------------------------------------------------------------------------- #
+class TestWorkerPool:
+    @pytest.fixture(autouse=True)
+    def _worker_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV_VAR, "4")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+
+    @staticmethod
+    def _worker_pids_of(result):
+        return {ctx.memory["worker_pid"] for ctx in result.contexts.values()}
+
+    def test_consecutive_runs_reuse_the_pool(self, network):
+        first = Simulator(network).run(
+            _PidRecorder(), halt_on_quiescence=True, engine="sharded"
+        )
+        second = Simulator(network).run(
+            _PidRecorder(), halt_on_quiescence=True, engine="sharded"
+        )
+        pids_first = self._worker_pids_of(first)
+        pids_second = self._worker_pids_of(second)
+        assert pids_first == pids_second  # same worker processes served both
+        assert os.getpid() not in pids_first  # and they really were workers
+        assert len(pids_first) == 2
+
+    def test_pooled_runs_bit_identical_to_fresh_and_sparse(self, network):
+        source = min(network.nodes)
+        with force_engine("sparse"):
+            reference = distributed_bellman_ford(network, source)
+        results = []
+        with shard_worker_pool(network) as pool:
+            pids = pool.worker_pids()
+            for _ in range(2):  # both runs reuse the pinned pool
+                with force_engine("sharded"):
+                    results.append(distributed_bellman_ford(network, source))
+            assert pool.worker_pids() == pids
+            assert not pool.closed and not pool.broken
+        for result in results:
+            assert result == reference
+        assert pool.closed  # context-manager teardown
+
+    def test_pool_survives_node_program_errors(self, network):
+        before = self._worker_pids_of(
+            Simulator(network).run(
+                _PidRecorder(), halt_on_quiescence=True, engine="sharded"
+            )
+        )
+        with pytest.raises(RuntimeError, match="worker boom"):
+            Simulator(network).run(_ExplodingAt(2), engine="sharded")
+        from repro.congest.simulator import RoundLimitExceeded
+
+        with pytest.raises(RoundLimitExceeded):
+            Simulator(network, max_rounds=3).run(
+                _BellmanFordAlgorithm([min(network.nodes)]), engine="sharded"
+            )
+        after = self._worker_pids_of(
+            Simulator(network).run(
+                _PidRecorder(), halt_on_quiescence=True, engine="sharded"
+            )
+        )
+        assert before == after  # neither failure burned the forked workers
+
+    def test_graph_mutation_invalidates_the_pool(self, network):
+        before = self._worker_pids_of(
+            Simulator(network).run(
+                _PidRecorder(), halt_on_quiescence=True, engine="sharded"
+            )
+        )
+        nodes = network.nodes
+        network.graph.add_edge(nodes[0], nodes[-1], 7)
+        with force_engine("sparse"):
+            reference = distributed_bellman_ford(network, min(network.nodes))
+        with force_engine("sharded"):
+            result = distributed_bellman_ford(network, min(network.nodes))
+        assert result == reference  # fresh pool sees the mutated topology
+        after = self._worker_pids_of(
+            Simulator(network).run(
+                _PidRecorder(), halt_on_quiescence=True, engine="sharded"
+            )
+        )
+        assert before.isdisjoint(after)  # the stale pool was replaced
+
+    def test_pool_context_manager_validates_worker_count(self, network):
+        with pytest.raises(ValueError, match="at least 2 workers"):
+            with shard_worker_pool(network, num_workers=1):
+                pass  # pragma: no cover
+
+    def test_close_worker_pools_tears_everything_down(self, network):
+        Simulator(network).run(
+            _PidRecorder(), halt_on_quiescence=True, engine="sharded"
+        )
+        from repro.congest.engine.sharded import _POOLS
+
+        pools = list(_POOLS.values())
+        assert pools  # the run left a registered pool behind
+        close_worker_pools()
+        assert not _POOLS
+        assert all(pool.closed for pool in pools)
