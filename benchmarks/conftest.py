@@ -15,7 +15,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
@@ -28,6 +30,24 @@ def cpu_count() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def git_commit() -> Optional[str]:
+    """The repository HEAD commit hash, or ``None`` outside a git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+            or None
+        )
+    except Exception:  # pragma: no cover - git absent or not a checkout
+        return None
 
 
 @pytest.fixture(scope="session")
@@ -57,8 +77,10 @@ def record_json(results_dir):
 
     ``payload`` should carry the workload identity, the engine configuration
     and the measured numbers; the fixture adds the machine context (CPU count,
-    Python version) every reading needs for interpretation -- a 1-core runner
-    cannot show a multiprocessing win, and the JSON must say so.
+    Python version), the git commit, and the engine/backend environment
+    overrides every reading needs for interpretation -- a 1-core runner
+    cannot show a multiprocessing win, a ``REPRO_ENGINE=symbolic`` run is not
+    comparable to a stepping run, and the JSON must say so.
     """
 
     def _record(name: str, payload: dict) -> Path:
@@ -67,6 +89,13 @@ def record_json(results_dir):
             "machine": {
                 "cpu_count": cpu_count(),
                 "python": platform.python_version(),
+            },
+            "provenance": {
+                "git_commit": git_commit(),
+                "env": {
+                    "REPRO_ENGINE": os.environ.get("REPRO_ENGINE"),
+                    "REPRO_BACKEND": os.environ.get("REPRO_BACKEND"),
+                },
             },
         }
         document.update(payload)

@@ -18,7 +18,14 @@ must clear a >=3x floor over the legacy loop at ``n = 256`` (~6-9x measured:
 the workload is dominated by the ``L + 1`` fixed schedule rounds, which the
 dense engine steps without per-node Python dispatch).
 
-A third table records shard-count scaling for the ``sharded`` engine
+A third table covers the closed-form ``symbolic`` engine on the full
+Theorem 1.1 classical pipeline (Algorithm 3 + overlay embedding + Setup +
+Evaluation) over the bounded-degree spanner family: at ``n = 1024`` the
+closed form must beat the dense engine by >= 5x with a bit-identical
+flattened report, and an ``n = 4096`` end-to-end run must finish inside a
+fixed wall-clock budget on the 1-CPU container.
+
+A fourth table records shard-count scaling for the ``sharded`` engine
 (``REPRO_SHARDS`` in {1, 2, 4, 8}) with a shard-serial and a worker-mode
 column per row, against a ``sparse`` baseline.  ``REPRO_BENCH_SCALING_N``
 overrides the instance size (default 256; CI's benchmark job runs the
@@ -356,6 +363,168 @@ def test_bench_tree_primitives_engines(benchmark, record_artifact, record_json):
             f"dense tree primitives reached only {dense_speedup:.1f}x over "
             f"the legacy loop at n={TREE_NODE_COUNT} "
             f"(needs {TREE_REQUIRED_DENSE_SPEEDUP}x)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Symbolic closed-form engine: the full Theorem 1.1 classical pipeline
+# (Algorithm 3 + overlay embedding + Setup + Evaluation) on the bounded-
+# degree spanner family, dense vs symbolic.
+# --------------------------------------------------------------------------- #
+#: Acceptance floor at n=1024 (ISSUE-7 criterion): deriving the pipeline's
+#: round reports in closed form must beat stepping the schedules with the
+#: vectorized dense engine by at least 5x (measures ~10-15x on an idle
+#: 1-core container; the dense cost scales with schedule rounds, the
+#: symbolic cost with events).
+SYMBOLIC_REQUIRED_SPEEDUP = 5.0
+SYMBOLIC_PIPELINE_N = 1024
+SYMBOLIC_SMOKE_N = 4096
+#: The n=4096 end-to-end smoke run must stay inside this wall-clock budget
+#: on the 1-CPU container (measures well under a second).
+SYMBOLIC_SMOKE_BUDGET_SECONDS = 60.0
+#: Theorem 1.1 scale knobs: a long announce schedule (hop bound x levels)
+#: puts the run in the regime where per-round stepping dominates, which is
+#: exactly what the closed form removes.
+SYMBOLIC_HOP_BOUND = 48
+SYMBOLIC_LEVELS = 8
+
+SYMBOLIC_HEADERS = [
+    "engine",
+    "n",
+    "time [s]",
+    "rounds",
+    "congested",
+    "speedup vs dense",
+    "identical",
+]
+
+
+def _symbolic_pipeline(n):
+    from repro.congest import RoundReport
+    from repro.graphs import yao_spanner_graph
+    from repro.nanongkai.skeleton import SkeletonApproximator
+
+    network = Network(yao_spanner_graph(n, seed=7))
+    skeleton = sorted({0, n // 3, 2 * n // 3, n - 1})
+
+    def pipeline():
+        approximator = SkeletonApproximator(
+            network,
+            skeleton,
+            epsilon=0.5,
+            hop_bound=SYMBOLIC_HOP_BOUND,
+            k=4,
+            seed=3,
+            levels=SYMBOLIC_LEVELS,
+        )
+        return RoundReport.sequential(
+            [
+                approximator.initialization_report,
+                approximator.setup_report(),
+                approximator.evaluation_report(),
+            ]
+        )
+
+    return pipeline
+
+
+def _symbolic_pipeline_sweep():
+    rows = []
+    records = []
+    speedup = None
+
+    def add_row(engine, n, elapsed, report, speedup_label, identical):
+        rows.append(
+            [
+                engine,
+                n,
+                f"{elapsed:.3f}",
+                report.rounds,
+                report.congested_rounds,
+                speedup_label,
+                identical,
+            ]
+        )
+        records.append(
+            {
+                "workload": "theorem-1.1-pipeline",
+                "engine": engine,
+                "n": n,
+                "hop_bound": SYMBOLIC_HOP_BOUND,
+                "levels": SYMBOLIC_LEVELS,
+                "seconds": round(elapsed, 4),
+                "rounds": report.rounds,
+                "congested_rounds": report.congested_rounds,
+            }
+        )
+
+    # ---- n=1024: dense vs symbolic, bit-identical, 5x floor --------------- #
+    pipeline = _symbolic_pipeline(SYMBOLIC_PIPELINE_N)
+    dense_time = None
+    dense_report = None
+    if "dense" in available_engines():
+        with force_engine("dense"):
+            dense_time, dense_report = _best_of(pipeline, repeats=1)
+    with force_engine("symbolic"):
+        symbolic_time, symbolic_report = _best_of(pipeline, repeats=2)
+    if dense_report is not None:
+        assert symbolic_report == dense_report, (
+            "symbolic pipeline report diverged from dense at "
+            f"n={SYMBOLIC_PIPELINE_N}"
+        )
+        speedup = dense_time / symbolic_time
+        add_row(
+            "dense", SYMBOLIC_PIPELINE_N, dense_time, dense_report, "1.0x", "--"
+        )
+    add_row(
+        "symbolic",
+        SYMBOLIC_PIPELINE_N,
+        symbolic_time,
+        symbolic_report,
+        f"{speedup:.1f}x" if speedup is not None else "--",
+        "yes" if dense_report is not None else "--",
+    )
+
+    # ---- n=4096: closed-form end-to-end smoke run ------------------------- #
+    smoke = _symbolic_pipeline(SYMBOLIC_SMOKE_N)
+    with force_engine("symbolic"):
+        smoke_time, smoke_report = _best_of(smoke, repeats=1)
+    add_row("symbolic", SYMBOLIC_SMOKE_N, smoke_time, smoke_report, "--", "--")
+    return rows, records, speedup, smoke_time
+
+
+def test_bench_symbolic_pipeline(benchmark, record_artifact, record_json):
+    rows, records, speedup, smoke_time = run_once(
+        benchmark, _symbolic_pipeline_sweep
+    )
+    record_artifact(
+        "simulator_symbolic_pipeline",
+        render_table(
+            SYMBOLIC_HEADERS,
+            rows,
+            title=(
+                "Symbolic closed-form engine: Theorem 1.1 pipeline on the "
+                "bounded-degree spanner"
+            ),
+        ),
+    )
+    record_json(
+        "symbolic_pipeline",
+        {
+            "workload": "theorem-1.1-pipeline",
+            "node_counts": [SYMBOLIC_PIPELINE_N, SYMBOLIC_SMOKE_N],
+            "rows": records,
+        },
+    )
+    assert smoke_time < SYMBOLIC_SMOKE_BUDGET_SECONDS, (
+        f"the n={SYMBOLIC_SMOKE_N} symbolic smoke run took {smoke_time:.1f}s "
+        f"(budget {SYMBOLIC_SMOKE_BUDGET_SECONDS:.0f}s)"
+    )
+    if speedup is not None:  # dense absent without NumPy
+        assert speedup >= SYMBOLIC_REQUIRED_SPEEDUP, (
+            f"the symbolic pipeline reached only {speedup:.1f}x over the "
+            f"dense engine at n={SYMBOLIC_PIPELINE_N} "
+            f"(needs {SYMBOLIC_REQUIRED_SPEEDUP}x)"
         )
 
 

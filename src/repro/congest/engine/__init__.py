@@ -2,9 +2,10 @@
 
 See :mod:`repro.congest.engine.base` for the registry contract and
 :mod:`repro.congest.engine.schema` for the message-schema hook that makes a
-protocol eligible for the vectorized ``dense`` engine.  Importing this
-package registers the bundled engines (``sparse``, ``legacy``, ``sharded``,
-and -- when NumPy is importable -- ``dense``).
+protocol eligible for the schema-driven engines (the vectorized ``dense``
+engine and the closed-form ``symbolic`` engine).  Importing this package
+registers the bundled engines (``sparse``, ``legacy``, ``sharded``,
+``symbolic``, and -- when NumPy is importable -- ``dense``).
 """
 
 from repro.congest.engine.types import (
@@ -22,12 +23,17 @@ from repro.congest.engine.base import (
     register_engine,
     resolve_engine,
 )
-from repro.congest.engine.schema import MinPlusSchema, TreeSchema
+from repro.congest.engine.schema import (
+    BroadcastReplaySchema,
+    MinPlusSchema,
+    TreeSchema,
+)
 
 # Engine registration happens at import time, mirroring the kernel backends.
 from repro.congest.engine import sparse as _sparse  # noqa: F401  (registers)
 from repro.congest.engine import legacy as _legacy  # noqa: F401  (registers)
 from repro.congest.engine import sharded as _sharded  # noqa: F401  (registers)
+from repro.congest.engine import symbolic as _symbolic  # noqa: F401  (registers)
 
 try:  # The dense engine needs NumPy; everything else must work without it.
     from repro.congest.engine import dense as _dense  # noqa: F401  (registers)
@@ -46,6 +52,7 @@ __all__ = [
     "get_engine",
     "register_engine",
     "resolve_engine",
+    "BroadcastReplaySchema",
     "MinPlusSchema",
     "TreeSchema",
 ]

@@ -17,6 +17,10 @@ resolves one per run.  Four engines ship with the library:
   ``REPRO_SHARD_WORKERS > 1``), exchanging cross-shard messages through
   per-round boundary buffers.  Runs arbitrary node programs and needs no
   NumPy.
+* ``"symbolic"`` -- the closed-form executor: derives the whole
+  :class:`RoundReport` analytically for schedule-determined schemas (tree
+  primitives, broadcast replays, arrival-gated min-plus runs) instead of
+  stepping rounds.  Pure Python, needs no NumPy, never auto-selected.
 * ``"legacy"`` -- the seed scheduler loop, kept verbatim as the pinned
   reference the benchmarks and differential tests compare against.
 
@@ -26,8 +30,9 @@ Selection order (first match wins):
 2. a :func:`force_engine` override (used by the differential tests and the
    engine benchmarks),
 3. the ``REPRO_ENGINE`` environment variable (``sparse``, ``dense``,
-   ``sharded``, ``legacy`` or ``auto``),
-4. ``auto``: ``dense`` when the run is dense-eligible, otherwise ``sparse``.
+   ``sharded``, ``symbolic``, ``legacy`` or ``auto``),
+4. ``auto``: ``dense`` when the run is dense-eligible, otherwise ``sparse``
+   (``sharded`` and ``symbolic`` are opt-in and never auto-selected).
 
 A forced or environment-selected engine that cannot execute a particular run
 (e.g. ``dense`` for an algorithm without a message schema) falls back to

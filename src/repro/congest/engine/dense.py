@@ -44,6 +44,7 @@ import numpy as np
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
 from repro.congest.engine import dense_tree
 from repro.congest.engine.base import ExecutionEngine, register_engine
+from repro.congest.engine.minplus import resolve_weight_overrides
 from repro.congest.engine.schema import MinPlusSchema, TreeSchema
 from repro.congest.engine.types import (
     RoundLimitExceeded,
@@ -77,56 +78,6 @@ def _bit_lengths(values: np.ndarray) -> np.ndarray:
     return est
 
 
-def _resolve_weight_overrides(
-    network: Network,
-    schema: MinPlusSchema,
-    initial_memory: Optional[Dict[int, Dict[str, Any]]],
-) -> Optional[Dict[int, Dict[int, int]]]:
-    """Extract and validate per-node override weights from ``initial_memory``.
-
-    Returns ``None`` when the run carries no pre-loaded memory and the schema
-    expects none.  Raises ``ValueError`` for any run the dense engine cannot
-    express faithfully: pre-loaded memory without a ``weight_memory_key``
-    schema (arbitrary node-program state), memory entries beyond the single
-    override dict, overrides missing an incident edge, or non-positive /
-    non-integer weights (which would break the exact-int relaxation).
-    ``supports()`` turns the error into a clean fallback to ``sparse``.
-    """
-    key = schema.weight_memory_key
-    if not initial_memory:
-        if key is not None:
-            raise ValueError(
-                "schema declares weight overrides but the run pre-loads none"
-            )
-        return None
-    if key is None:
-        raise ValueError("pre-loaded node memory without a weight_memory_key")
-    node_set = set(network.nodes)
-    if set(initial_memory) - node_set:
-        raise ValueError("pre-loaded memory names nodes outside the network")
-    overrides: Dict[int, Dict[int, int]] = {}
-    for node in network.nodes:
-        memory = initial_memory.get(node)
-        if memory is None or set(memory) != {key}:
-            raise ValueError(
-                f"node {node} pre-loads memory beyond the '{key}' overrides"
-            )
-        table = memory[key]
-        if not isinstance(table, dict):
-            raise ValueError(f"override weights for node {node} are not a dict")
-        entry: Dict[int, int] = {}
-        for neighbor in network.neighbors(node):
-            weight = table.get(neighbor)
-            if isinstance(weight, bool) or not isinstance(weight, int) or weight < 1:
-                raise ValueError(
-                    f"override weight for edge ({node}, {neighbor}) is not a "
-                    f"positive integer: {weight!r}"
-                )
-            entry[neighbor] = weight
-        overrides[node] = entry
-    return overrides
-
-
 class DenseEngine(ExecutionEngine):
     """Vectorized executor for min-plus flooding protocols."""
 
@@ -148,7 +99,7 @@ class DenseEngine(ExecutionEngine):
         if not isinstance(schema, MinPlusSchema):
             return False
         try:
-            overrides = _resolve_weight_overrides(network, schema, initial_memory)
+            overrides = resolve_weight_overrides(network, schema, initial_memory)
         except ValueError:
             # Pre-loaded state the schema cannot express; such runs stay on
             # the sparse engine (which runs the node program as-is).
@@ -214,7 +165,7 @@ class DenseEngine(ExecutionEngine):
             raise ValueError(
                 f"dense engine cannot execute protocol '{algorithm.name}'"
             )
-        overrides = _resolve_weight_overrides(network, schema, initial_memory)
+        overrides = resolve_weight_overrides(network, schema, initial_memory)
 
         nodes = list(network.nodes)
         n = len(nodes)

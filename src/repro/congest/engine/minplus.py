@@ -1,0 +1,66 @@
+"""Engine-agnostic helpers for :class:`MinPlusSchema` runs.
+
+Pure Python, no NumPy: both the dense engine and the symbolic tier validate
+a run's pre-loaded weight overrides through the same code path, so their
+eligibility decisions (and the resulting sparse fallbacks) stay in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.congest.engine.schema import MinPlusSchema
+from repro.congest.network import Network
+
+__all__ = ["resolve_weight_overrides"]
+
+
+def resolve_weight_overrides(
+    network: Network,
+    schema: MinPlusSchema,
+    initial_memory: Optional[Dict[int, Dict[str, Any]]],
+) -> Optional[Dict[int, Dict[int, int]]]:
+    """Extract and validate per-node override weights from ``initial_memory``.
+
+    Returns ``None`` when the run carries no pre-loaded memory and the schema
+    expects none.  Raises ``ValueError`` for any run a schema-driven engine
+    cannot express faithfully: pre-loaded memory without a
+    ``weight_memory_key`` schema (arbitrary node-program state), memory
+    entries beyond the single override dict, overrides missing an incident
+    edge, or non-positive / non-integer weights (which would break the
+    exact-int relaxation).  ``supports()`` turns the error into a clean
+    fallback to ``sparse``.
+    """
+    key = schema.weight_memory_key
+    if not initial_memory:
+        if key is not None:
+            raise ValueError(
+                "schema declares weight overrides but the run pre-loads none"
+            )
+        return None
+    if key is None:
+        raise ValueError("pre-loaded node memory without a weight_memory_key")
+    node_set = set(network.nodes)
+    if set(initial_memory) - node_set:
+        raise ValueError("pre-loaded memory names nodes outside the network")
+    overrides: Dict[int, Dict[int, int]] = {}
+    for node in network.nodes:
+        memory = initial_memory.get(node)
+        if memory is None or set(memory) != {key}:
+            raise ValueError(
+                f"node {node} pre-loads memory beyond the '{key}' overrides"
+            )
+        table = memory[key]
+        if not isinstance(table, dict):
+            raise ValueError(f"override weights for node {node} are not a dict")
+        entry: Dict[int, int] = {}
+        for neighbor in network.neighbors(node):
+            weight = table.get(neighbor)
+            if isinstance(weight, bool) or not isinstance(weight, int) or weight < 1:
+                raise ValueError(
+                    f"override weight for edge ({node}, {neighbor}) is not a "
+                    f"positive integer: {weight!r}"
+                )
+            entry[neighbor] = weight
+        overrides[node] = entry
+    return overrides

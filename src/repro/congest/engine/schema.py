@@ -41,7 +41,7 @@ from typing import Any, Callable, ClassVar, Dict, Mapping, Optional, Sequence, T
 
 from repro.congest.message import encode_value, message_size_bits
 
-__all__ = ["MinPlusSchema", "TreeSchema"]
+__all__ = ["BroadcastReplaySchema", "MinPlusSchema", "TreeSchema"]
 
 
 @dataclass(frozen=True)
@@ -258,3 +258,65 @@ class TreeSchema:
             )
         if self.kind == "gather" and self.records is None:
             raise ValueError("TreeSchema kind 'gather' needs the records map")
+
+
+@dataclass(frozen=True)
+class BroadcastReplaySchema:
+    """Declarative description of a global-broadcast replay phase.
+
+    The third schema family, covering Lemma A.4-style protocols that simulate
+    a virtual (overlay) round with a network-wide broadcast: in overlay round
+    ``r``, ``announcements[r]`` overlay nodes each broadcast one
+    fixed-size record to the ``fanout`` other overlay nodes, at a network
+    cost of ``depth + 1 + announcements[r]`` congestion-adjusted rounds
+    (the BFS-tree depth to reach the leader, one aggregation round, and one
+    pipelined slot per announcement).  The whole schedule is a closed form of
+    these counts, so the symbolic tier
+    (:func:`repro.congest.engine.symbolic.broadcast_replay_report`) derives
+    the full :class:`~repro.congest.engine.types.RoundReport` without
+    materializing a single message.
+
+    The bundled user is Algorithm 5 (``nanongkai/overlay.py``): the overlay
+    Bounded-Distance SSSP replay collects its per-overlay-round announcer
+    counts while computing the distances locally, then declares this schema
+    and reads the report off the closed form -- bit-identical to the
+    accounting the replay loop used to accumulate inline.
+
+    Attributes
+    ----------
+    label:
+        Protocol label stamped on the derived report.
+    announcements:
+        Per virtual round, the number of announcing overlay nodes ``a_r``;
+        the length is the virtual round count.
+    fanout:
+        Receivers of each announcement (``max(1, |S| - 1)`` for a complete
+        overlay on skeleton set ``S``).
+    depth:
+        Depth of the BFS tree carrying each global broadcast.
+    words_per_message:
+        Charged words per announcement record (id + value = 2 by default).
+    """
+
+    label: str
+    announcements: Tuple[int, ...]
+    fanout: int
+    depth: int
+    words_per_message: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be at least 1, got {self.fanout}")
+        if self.depth < 0:
+            raise ValueError(f"depth must be non-negative, got {self.depth}")
+        if self.words_per_message < 1:
+            raise ValueError(
+                f"words_per_message must be at least 1, got {self.words_per_message}"
+            )
+        if any(count < 0 for count in self.announcements):
+            raise ValueError("announcement counts must be non-negative")
+
+    @property
+    def total_announcements(self) -> int:
+        """Total announcements over all virtual rounds."""
+        return sum(self.announcements)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,7 +33,11 @@ from repro.congest.primitives import broadcast_from, build_bfs_tree
 from repro.congest.simulator import RoundReport
 from repro.core.parameters import AlgorithmParameters, ParameterProfile
 from repro.kernels import eccentricities_csr
-from repro.nanongkai.skeleton import SkeletonApproximator, sample_skeleton_sets
+from repro.nanongkai.skeleton import (
+    PipelineComposer,
+    SkeletonApproximator,
+    sample_skeleton_sets,
+)
 from repro.quantum_congest.model import ProcedureCosts, QuantumCongestCharge
 from repro.quantum_congest.optimizer import (
     DistributedQuantumOptimizer,
@@ -203,44 +207,37 @@ def _approximate(
         return outcome.value
 
     # ---- Outer search (Lemma 3.1 with the Lemma 3.4 promise) -------------- #
-    # The outer costs are assembled after the evaluation because the
-    # per-Evaluation cost is itself a measured quantity (the inner charge).
-    placeholder_costs = ProcedureCosts(
-        initialization=RoundReport(protocol="outer-initialization"),
-        setup=outer_setup_report,
-        evaluation=RoundReport(protocol="outer-evaluation-placeholder"),
-        label=f"outer[{problem}]",
-    )
+    # The outer costs are only known after the evaluation because the
+    # per-Evaluation cost is itself a measured quantity: one outer Evaluation
+    # costs the inner T0 plus the inner invocations of (T1 + T2), i.e.
+    # exactly the inner charge's total.  The optimizer therefore defers the
+    # charge to this closure instead of being fed placeholder costs.
+    def outer_costs_for(index: Hashable) -> ProcedureCosts:
+        inner, _ = evaluation_cache[int(index)]
+        return ProcedureCosts(
+            initialization=tree_report,
+            setup=outer_setup_report,
+            evaluation=inner.charge.as_report(),
+            label=f"outer[{problem}]",
+        )
+
     outer_optimizer = DistributedQuantumOptimizer(
-        placeholder_costs, delta=parameters.delta, rng=rng, mode=SearchMode.QUERY_MODEL
+        None, delta=parameters.delta, rng=rng, mode=SearchMode.QUERY_MODEL
     )
     outer_outcome = outer_optimizer.search_with_promise(
         list(range(len(skeleton_sets))),
         good_indices,
         evaluate_outer,
         rho=parameters.outer_rho(),
+        finalize_costs=outer_costs_for,
     )
     chosen_index = int(outer_outcome.element)
     inner_outcome, _approximator = evaluation_cache[chosen_index]
+    outer_charge = outer_outcome.charge
 
-    # Re-assemble the outer charge with the measured per-Evaluation cost:
-    # one outer Evaluation costs the inner T0 plus the inner invocations of
-    # (T1 + T2), i.e. exactly the inner charge's total.
-    outer_costs = ProcedureCosts(
-        initialization=tree_report,
-        setup=outer_setup_report,
-        evaluation=inner_outcome.charge.as_report(),
-        label=f"outer[{problem}]",
-    )
-    outer_charge = QuantumCongestCharge(
-        costs=outer_costs,
-        rho=parameters.outer_rho(),
-        delta=parameters.delta,
-        invocations=outer_outcome.invocations,
-    )
-
-    report = outer_charge.as_report()
-    report.protocol = f"quantum-weighted-{problem}"
+    composer = PipelineComposer(f"quantum-weighted-{problem}")
+    composer.add("outer-search", outer_charge.as_report())
+    report = composer.report()
 
     within = None
     if compute_exact:

@@ -65,6 +65,7 @@ from repro.graphs.generators import (
     random_tree,
     caterpillar_graph,
     low_diameter_expander,
+    yao_spanner_graph,
 )
 
 __all__ = [
@@ -109,4 +110,5 @@ __all__ = [
     "random_tree",
     "caterpillar_graph",
     "low_diameter_expander",
+    "yao_spanner_graph",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "random_tree",
     "caterpillar_graph",
     "low_diameter_expander",
+    "yao_spanner_graph",
     "assign_random_weights",
 ]
 
@@ -360,6 +361,134 @@ def low_diameter_expander(
         for a, b in zip(order[0::2], order[1::2]):
             if a != b and not graph.has_edge(a, b):
                 graph.add_edge(a, b, pick())
+    return graph
+
+
+def _ring_cells(
+    cx: int, cy: int, ring: int, side: int
+) -> "list[Tuple[int, int]]":
+    """Grid cells at Chebyshev distance exactly ``ring`` from ``(cx, cy)``."""
+    if ring == 0:
+        return [(cx, cy)]
+    cells = []
+    for gx in range(max(0, cx - ring), min(side, cx + ring + 1)):
+        for gy in (cy - ring, cy + ring):
+            if 0 <= gy < side:
+                cells.append((gx, gy))
+    for gy in range(max(0, cy - ring + 1), min(side, cy + ring)):
+        for gx in (cx - ring, cx + ring):
+            if 0 <= gx < side:
+                cells.append((gx, gy))
+    return cells
+
+
+def yao_spanner_graph(
+    num_nodes: int,
+    num_cones: int = 6,
+    weight_scale: int = 1000,
+    seed: int = 0,
+) -> WeightedGraph:
+    """A Yao-graph spanner on random unit-square points.
+
+    Each node connects to its nearest neighbour within each of ``num_cones``
+    equal angular cones, giving a connected, geometric, *bounded-degree*
+    graph (out-degree at most ``num_cones``, constant expected in-degree)
+    whose edge weights are the rounded Euclidean distances.  This is the
+    bounded-degree end of the topology zoo -- maximum degree independent of
+    ``n``, diameter ``Theta(sqrt(n))`` -- and the workload on which the
+    closed-form symbolic engine is benchmarked, so construction must stay
+    cheap at ``n = 4096``: neighbour search walks an expected ``O(1)`` ring
+    of ``sqrt(n) x sqrt(n)`` grid buckets per node.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of points placed uniformly in the unit square.
+    num_cones:
+        Number of angular sectors per node (at least 3; 6 keeps the graph
+        connected in practice and any residual components are repaired by
+        linking nearest pairs, as in :func:`random_geometric_graph`).
+    weight_scale:
+        Euclidean distances are scaled by this factor and rounded to
+        positive integer weights.
+    seed:
+        Randomness seed; the construction is fully deterministic given it.
+    """
+    if num_nodes < 1:
+        raise ValueError("yao_spanner_graph needs at least one node")
+    if num_cones < 3:
+        raise ValueError("num_cones must be at least 3")
+    if weight_scale < 1:
+        raise ValueError("weight_scale must be at least 1")
+    rng = random.Random(seed)
+    positions = [(rng.random(), rng.random()) for _ in range(num_nodes)]
+    graph = WeightedGraph(nodes=range(num_nodes))
+    if num_nodes == 1:
+        return graph
+
+    side = max(1, math.isqrt(num_nodes))
+
+    def cell_of(x: float, y: float) -> Tuple[int, int]:
+        return (min(side - 1, int(x * side)), min(side - 1, int(y * side)))
+
+    buckets: dict = {}
+    for index, (x, y) in enumerate(positions):
+        buckets.setdefault(cell_of(x, y), []).append(index)
+
+    two_pi = 2.0 * math.pi
+    for u in range(num_nodes):
+        ux, uy = positions[u]
+        cx, cy = cell_of(ux, uy)
+        best: "list[Optional[Tuple[float, int]]]" = [None] * num_cones
+        ring = 0
+        while ring <= 2 * side:
+            # A cell at Chebyshev ring distance r is at least (r-1)/side
+            # away, so once every cone holds a closer candidate the scan
+            # is exact and can stop.
+            floor_distance = (ring - 1) / side
+            if (
+                all(entry is not None for entry in best)
+                and floor_distance > max(entry[0] for entry in best)
+            ):
+                break
+            for cell in _ring_cells(cx, cy, ring, side):
+                for v in buckets.get(cell, ()):
+                    if v == u:
+                        continue
+                    dx = positions[v][0] - ux
+                    dy = positions[v][1] - uy
+                    distance = math.hypot(dx, dy)
+                    sector = int((math.atan2(dy, dx) % two_pi) / two_pi * num_cones)
+                    sector = min(sector, num_cones - 1)
+                    if best[sector] is None or (distance, v) < best[sector]:
+                        best[sector] = (distance, v)
+            ring += 1
+        for entry in best:
+            if entry is None:
+                continue
+            distance, v = entry
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v, max(1, round(distance * weight_scale)))
+
+    # Repair any residual disconnection by linking nearest pairs, keeping
+    # the weights geometric (same scheme as random_geometric_graph).
+    components = graph.connected_components()
+    while len(components) > 1:
+        base = components[0]
+        best_link: Optional[Tuple[float, int, int]] = None
+        for other in components[1:]:
+            for u in base:
+                for v in other:
+                    dx = positions[u][0] - positions[v][0]
+                    dy = positions[u][1] - positions[v][1]
+                    distance = math.hypot(dx, dy)
+                    if best_link is None or distance < best_link[0]:
+                        best_link = (distance, u, v)
+        assert best_link is not None
+        graph.add_edge(
+            best_link[1], best_link[2], max(1, round(best_link[0] * weight_scale))
+        )
+        components = graph.connected_components()
     return graph
 
 

@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.congest.engine.schema import BroadcastReplaySchema
+from repro.congest.engine.symbolic import broadcast_replay_report
 from repro.congest.network import Network
 from repro.congest.primitives import (
     BfsTree,
@@ -349,9 +351,9 @@ def overlay_sssp_protocol(
     best: Dict[int, float] = {node: _INF for node in skeleton}
     best[source] = 0.0
 
-    total_overlay_rounds = 0
-    total_network_rounds = 0
-    total_announcements = 0
+    # Per-overlay-round announcer counts, across all levels: the replay's
+    # whole communication pattern, declared to the symbolic tier below.
+    announcement_counts: List[int] = []
 
     for level in range(levels):
         scale = epsilon * (2**level)
@@ -386,9 +388,7 @@ def overlay_sssp_protocol(
                     candidate = distances[node] + weight
                     if candidate <= bound and candidate < distances[other]:
                         distances[other] = candidate
-            total_overlay_rounds += 1
-            total_announcements += len(announcers)
-            total_network_rounds += depth + 1 + len(announcers)
+            announcement_counts.append(len(announcers))
 
         rescale = scale / (2 * hop_bound)
         for node, value in distances.items():
@@ -406,17 +406,17 @@ def overlay_sssp_protocol(
         network, embedding.tree.root, payload, tree=embedding.tree
     )
 
-    overlay_report = RoundReport(
-        rounds=total_overlay_rounds,
-        congested_rounds=total_network_rounds,
-        total_messages=total_announcements * max(1, len(skeleton) - 1),
-        total_bits=total_announcements
-        * max(1, len(skeleton) - 1)
-        * network.word_bits
-        * 2,
-        max_message_bits=network.word_bits * 2,
-        protocol="overlay-sssp-core",
+    # The replay's round cost is a closed form of the announcement schedule
+    # (Lemma A.4: depth + 1 + a_r network rounds per overlay round, a_r
+    # records of one id + one value to the other skeleton nodes): declare it
+    # as a schema and read the report off the symbolic tier.
+    replay_schema = BroadcastReplaySchema(
+        label="overlay-sssp-core",
+        announcements=tuple(announcement_counts),
+        fanout=max(1, len(skeleton) - 1),
+        depth=depth,
     )
+    overlay_report = broadcast_replay_report(replay_schema, network.word_bits)
     report = RoundReport.sequential([overlay_report, broadcast_report])
     report.protocol = "overlay-sssp"
     return best, report

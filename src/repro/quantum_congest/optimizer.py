@@ -108,7 +108,7 @@ class DistributedQuantumOptimizer:
 
     def __init__(
         self,
-        costs: ProcedureCosts,
+        costs: Optional[ProcedureCosts],
         delta: float = 0.1,
         rng: Optional[np.random.Generator] = None,
         mode: SearchMode = SearchMode.AUTO,
@@ -122,8 +122,22 @@ class DistributedQuantumOptimizer:
 
     # ------------------------------------------------------------------ #
     @property
-    def costs(self) -> ProcedureCosts:
-        """The procedure costs used for charging rounds."""
+    def costs(self) -> Optional[ProcedureCosts]:
+        """The procedure costs used for charging rounds.
+
+        ``None`` when the charge is deferred: the optimizer was constructed
+        for :meth:`search_with_promise` with a ``finalize_costs`` callback
+        that supplies the measured costs once the searched element is known.
+        """
+        return self._costs
+
+    def _require_costs(self) -> ProcedureCosts:
+        if self._costs is None:
+            raise ValueError(
+                "this optimizer was constructed without procedure costs; "
+                "pass costs=ProcedureCosts(...) or use search_with_promise "
+                "with a finalize_costs callback"
+            )
         return self._costs
 
     @property
@@ -178,6 +192,7 @@ class DistributedQuantumOptimizer:
         good_elements: Sequence[Hashable],
         evaluate: Callable[[Hashable], float],
         rho: Optional[float] = None,
+        finalize_costs: Optional[Callable[[Hashable], ProcedureCosts]] = None,
     ) -> DistributedSearchOutcome:
         """Lemma 3.1 with an explicit structural promise and lazy evaluation.
 
@@ -199,6 +214,13 @@ class DistributedQuantumOptimizer:
         rho:
             Amplitude mass of the good set; defaults to
             ``len(good_elements) / len(domain)``.
+        finalize_costs:
+            When the per-Evaluation cost is itself a measured quantity (the
+            outer search of Theorem 1.1 charges the *inner* search's rounds
+            per outer Evaluation), the costs are only known after the
+            element has been evaluated.  This callback receives the returned
+            element and supplies the :class:`ProcedureCosts` used for the
+            charge, superseding the constructor ``costs``.
 
         Returns
         -------
@@ -223,9 +245,13 @@ class DistributedQuantumOptimizer:
         else:
             element = domain[int(self._rng.integers(len(domain)))]
         value = float(evaluate(element))
+        costs = (
+            finalize_costs(element) if finalize_costs is not None
+            else self._require_costs()
+        )
 
         charge = QuantumCongestCharge(
-            costs=self._costs,
+            costs=costs,
             rho=rho,
             delta=self._delta,
             invocations=invocations,
@@ -257,6 +283,7 @@ class DistributedQuantumOptimizer:
             raise ValueError(f"rho must be in (0, 1], got {rho}")
 
         mode = self._resolve_mode(domain_size)
+        costs = self._require_costs()
         values = {element: float(evaluate(element)) for element in domain}
         ordered = sorted(values.values(), reverse=maximize)
         good_count = max(1, math.ceil(rho * domain_size))
@@ -275,7 +302,7 @@ class DistributedQuantumOptimizer:
             )
 
         charge = QuantumCongestCharge(
-            costs=self._costs,
+            costs=costs,
             rho=rho,
             delta=self._delta,
             invocations=invocations,

@@ -1,0 +1,78 @@
+"""Pinning tests for the dense-tree engine's BFS-layer memoization.
+
+``dense_tree._bfs_layers`` memoizes the explore-flood layering per graph
+(by ``id``, weakref-evicted) and per (mutation counter, root), so that
+``supports()`` and ``run()`` do not each walk the topology and repeated
+tree primitives on the same network reuse one layering.  These tests pin
+that contract: hits return the identical object, roots key independently,
+a topology mutation invalidates stale entries, and disconnected outcomes
+are cached as negative entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.engine import dense_tree
+from repro.congest.network import Network
+from repro.graphs import WeightedGraph, random_weighted_graph
+
+
+def _path_network(length: int = 6) -> Network:
+    graph = WeightedGraph(edges=[(i, i + 1, 1) for i in range(length - 1)])
+    return Network(graph)
+
+
+class TestBfsLayerCache:
+    def test_second_lookup_returns_the_cached_object(self):
+        network = _path_network()
+        graph = network.graph
+        dense_tree._BFS_LAYER_CACHE.pop(id(graph), None)
+        first = dense_tree._bfs_layers(network, 0)
+        second = dense_tree._bfs_layers(network, 0)
+        assert second is first
+        assert dense_tree._BFS_LAYER_CACHE[id(graph)][(graph._version, 0)] is first
+
+    def test_layering_is_correct_on_a_path(self):
+        network = _path_network(5)
+        depth, parent = dense_tree._bfs_layers(network, 0)
+        assert depth == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert parent == {0: None, 1: 0, 2: 1, 3: 2, 4: 3}
+
+    def test_roots_key_independently(self):
+        graph = random_weighted_graph(num_nodes=10, max_weight=7, seed=11)
+        network = Network(graph)
+        dense_tree._BFS_LAYER_CACHE.pop(id(graph), None)
+        from_zero = dense_tree._bfs_layers(network, 0)
+        from_one = dense_tree._bfs_layers(network, 1)
+        per_graph = dense_tree._BFS_LAYER_CACHE[id(graph)]
+        assert per_graph[(graph._version, 0)] is from_zero
+        assert per_graph[(graph._version, 1)] is from_one
+        assert from_zero[0][0] == 0 and from_one[0][1] == 0
+
+    def test_mutation_invalidates_stale_layerings(self):
+        network = _path_network(6)
+        graph = network.graph
+        dense_tree._BFS_LAYER_CACHE.pop(id(graph), None)
+        stale = dense_tree._bfs_layers(network, 0)
+        assert stale[0][5] == 5
+        graph.add_edge(0, 5, 1)  # bumps the mutation counter
+        fresh = dense_tree._bfs_layers(network, 0)
+        assert fresh is not stale
+        assert fresh[0][5] == 1  # the chord shortens the flood
+        # The stale entry was dropped, not kept alongside the fresh one.
+        per_graph = dense_tree._BFS_LAYER_CACHE[id(graph)]
+        assert set(per_graph) == {(graph._version, 0)}
+
+    def test_disconnected_outcome_is_cached_negatively(self):
+        graph = WeightedGraph(edges=[(0, 1, 1), (2, 3, 1)])
+        # Bypass Network's connectivity check: build a connected network,
+        # then hand the flood a root of a disconnected graph directly.
+        network = Network.__new__(Network)
+        network._graph = graph
+        dense_tree._BFS_LAYER_CACHE.pop(id(graph), None)
+        with pytest.raises(dense_tree._Unsupported):
+            dense_tree._bfs_layers(network, 0)
+        assert dense_tree._BFS_LAYER_CACHE[id(graph)][(graph._version, 0)] is None
+        with pytest.raises(dense_tree._Unsupported):
+            dense_tree._bfs_layers(network, 0)

@@ -54,6 +54,7 @@ from repro.graphs import (
     path_graph,
     random_weighted_graph,
     star_graph,
+    yao_spanner_graph,
 )
 from repro.nanongkai.bounded_distance_sssp import (
     BoundedDistanceSsspAlgorithm,
@@ -79,6 +80,10 @@ def _networks():
         "path": path_graph(6, max_weight=7, seed=2),
         "star": star_graph(5, max_weight=9, seed=4),
         "cycle": cycle_graph(7, max_weight=5, seed=1),
+        # Bounded-degree geometric spanner: constant degree, Theta(sqrt(n))
+        # diameter -- the workload family the symbolic engine is benchmarked
+        # on, so it must sit in the differential zoo too.
+        "spanner": yao_spanner_graph(18, weight_scale=20, seed=6),
     }
     for seed in (0, 1, 2):
         cases[f"random-{seed}"] = random_weighted_graph(
@@ -644,9 +649,12 @@ def test_round_limit_exceeded_parity():
     messages = {}
     for engine in ENGINES:
         simulator = Simulator(network, max_rounds=17)
-        with pytest.raises(RoundLimitExceeded) as excinfo:
-            # No quiescence halting and no hop budget: never terminates.
-            simulator.run(algorithm, engine=engine)
+        # force_engine, not engine=: ineligible engines (e.g. symbolic on an
+        # ungated flood) fall back to sparse and must still raise identically.
+        with force_engine(engine):
+            with pytest.raises(RoundLimitExceeded) as excinfo:
+                # No quiescence halting and no hop budget: never terminates.
+                simulator.run(algorithm)
         messages[engine] = str(excinfo.value)
     assert len(set(messages.values())) == 1, messages
 
@@ -658,12 +666,12 @@ def test_strict_bandwidth_parity():
     )
     messages = {}
     for engine in ENGINES:
-        with pytest.raises(ValueError) as excinfo:
-            Simulator(network).run(
-                _BellmanFordAlgorithm(sorted(network.nodes)),
-                halt_on_quiescence=True,
-                engine=engine,
-            )
+        with force_engine(engine):
+            with pytest.raises(ValueError) as excinfo:
+                Simulator(network).run(
+                    _BellmanFordAlgorithm(sorted(network.nodes)),
+                    halt_on_quiescence=True,
+                )
         messages[engine] = str(excinfo.value)
     assert len(set(messages.values())) == 1, messages
 
@@ -819,3 +827,115 @@ def test_forced_dense_falls_back_for_schema_less_algorithm():
     with force_engine("dense"):
         result = Simulator(network).run(_NoSchema())
     assert result.report.rounds == 1
+
+
+# --------------------------------------------------------------------------- #
+# Symbolic engine: the closed-form executor must be bit-identical to the
+# stepping engines on every schedule-determined schema (it already crosses
+# the whole zoo via ENGINES above); the tests here pin its eligibility rules,
+# its native strict-bandwidth first-violation and its observer fallback.
+# --------------------------------------------------------------------------- #
+def test_announce_schedule_runs_are_symbolic_eligible():
+    """The Theorem 1.1 protocols must actually *run* symbolic, not fall back."""
+    from repro.congest.engine import get_engine
+
+    network = NETWORKS["spanner"]
+    source = min(network.nodes)
+    symbolic = get_engine("symbolic")
+    assert symbolic.supports(network, BoundedDistanceSsspAlgorithm(source, 20))
+    # An explicit engine request must execute (it raises when unsupported).
+    result = Simulator(network).run(
+        BoundedDistanceSsspAlgorithm(source, 20), engine="symbolic"
+    )
+    assert result.report.rounds == 21
+
+
+def test_explicit_symbolic_on_schema_less_algorithm_raises():
+    network = NETWORKS["two-node"]
+    with pytest.raises(ValueError, match="symbolic"):
+        Simulator(network).run(_NoSchema(), engine="symbolic")
+
+
+def test_explicit_symbolic_on_ungated_flood_raises():
+    """Bellman-Ford floods have no announce gate, so their schedule is not
+    closed-form; an explicit request fails loudly instead of guessing."""
+    network = NETWORKS["path"]
+    with pytest.raises(ValueError, match="symbolic"):
+        Simulator(network).run(
+            _BellmanFordAlgorithm([min(network.nodes)]),
+            halt_on_quiescence=True,
+            engine="symbolic",
+        )
+
+
+def test_forced_symbolic_falls_back_for_ineligible_runs():
+    """A blanket REPRO_ENGINE=symbolic must keep the whole suite working."""
+    with force_engine("symbolic"):
+        flood = Simulator(NETWORKS["random-0"]).run(
+            _BellmanFordAlgorithm([min(NETWORKS["random-0"].nodes)]),
+            halt_on_quiescence=True,
+        )
+        schema_less = Simulator(NETWORKS["two-node"]).run(_NoSchema())
+    reference = Simulator(NETWORKS["random-0"]).run(
+        _BellmanFordAlgorithm([min(NETWORKS["random-0"].nodes)]),
+        halt_on_quiescence=True,
+        engine="sparse",
+    )
+    assert flood.report == reference.report
+    assert flood.outputs == reference.outputs
+    assert schema_less.report.rounds == 1
+
+
+def test_symbolic_strict_bandwidth_first_violation_parity():
+    """On a run the symbolic engine executes *natively* (arrival-gated
+    Algorithm 2), the first over-budget edge -- and hence the exact error
+    text, bits included -- must match the sparse engine's."""
+    from repro.congest.engine import get_engine
+
+    graph = random_weighted_graph(10, average_degree=3.0, max_weight=60, seed=5)
+    network = Network(
+        graph,
+        CongestConfig(bandwidth_words=1, word_bits_override=8, strict_bandwidth=True),
+    )
+    algorithm = BoundedDistanceSsspAlgorithm(min(network.nodes), 120)
+    assert get_engine("symbolic").supports(network, algorithm)
+    messages = {}
+    for engine in ("sparse", "symbolic"):
+        with pytest.raises(ValueError) as excinfo:
+            Simulator(network).run(algorithm, engine=engine)
+        messages[engine] = str(excinfo.value)
+    assert messages["symbolic"] == messages["sparse"]
+    assert "exceeded the bandwidth" in messages["sparse"]
+
+
+def test_symbolic_observer_fallback_parity():
+    """Observed runs cannot stay closed-form (there are no per-round message
+    lists to stream), so the symbolic engine delegates them; stream and
+    report must equal the sparse engine's."""
+
+    def record(engine):
+        rounds = []
+
+        def observer(round_number, delivered):
+            rounds.append(
+                (
+                    round_number,
+                    sorted(
+                        (m.sender, m.receiver, m.payload, m.tag) for m in delivered
+                    ),
+                )
+            )
+
+        network = NETWORKS["spanner"]
+        result = Simulator(network).run(
+            BoundedDistanceSsspAlgorithm(min(network.nodes), 20),
+            observer=observer,
+            engine=engine,
+        )
+        return rounds, result.report, result.outputs
+
+    symbolic_rounds, symbolic_report, symbolic_outputs = record("symbolic")
+    sparse_rounds, sparse_report, sparse_outputs = record("sparse")
+    assert symbolic_rounds == sparse_rounds
+    assert symbolic_report == sparse_report
+    assert symbolic_outputs == sparse_outputs

@@ -170,9 +170,11 @@ class TestObserverSemantics:
                 )
             )
 
-        result = Simulator(network).run(
-            algorithm, observer=observer, engine=engine, **kwargs
-        )
+        # force_engine, not engine=: engines that cannot run the algorithm
+        # (e.g. symbolic on an ungated flood) must fall back to sparse and
+        # still produce the identical observer stream.
+        with force_engine(engine):
+            result = Simulator(network).run(algorithm, observer=observer, **kwargs)
         return rounds, result
 
     @pytest.mark.parametrize("engine", ENGINES)
@@ -312,11 +314,11 @@ class TestQuiescenceSemantics:
     def test_quiescent_round_still_charged(self, engine):
         network = Network(path_graph(5))
         source = 0
-        result = Simulator(network).run(
-            _BellmanFordAlgorithm([source]),
-            halt_on_quiescence=True,
-            engine=engine,
-        )
+        with force_engine(engine):
+            result = Simulator(network).run(
+                _BellmanFordAlgorithm([source]),
+                halt_on_quiescence=True,
+            )
         # The flood takes 4 rounds to cross the path; the quiescence halt is
         # detected in (and charges) the round after the last improvement.
         assert result.report.rounds == 5
@@ -329,11 +331,11 @@ class TestQuiescenceSemantics:
         )
         reports = {}
         for engine in ENGINES:
-            reports[engine] = Simulator(network).run(
-                _BellmanFordAlgorithm(sorted(network.nodes)),
-                halt_on_quiescence=True,
-                engine=engine,
-            ).report
+            with force_engine(engine):
+                reports[engine] = Simulator(network).run(
+                    _BellmanFordAlgorithm(sorted(network.nodes)),
+                    halt_on_quiescence=True,
+                ).report
         reference = reports.pop(ENGINES[0])
         for engine, report in reports.items():
             assert report == reference, f"{engine} diverged: {report} != {reference}"

@@ -130,3 +130,47 @@ class TestRoundCharges:
         inner = result.inner_outcome.charge
         assert inner.costs.t0_rounds > 0
         assert result.total_rounds >= inner.total_rounds
+
+
+class TestAggregatedOuterReport:
+    """The outer charge carries real measured costs, not placeholders.
+
+    The outer optimizer defers its charge to a ``finalize_costs`` callback,
+    so the charge the result exposes is built from the measured BFS-tree,
+    broadcast and inner-search reports directly -- there is no placeholder
+    report anywhere in the output.
+    """
+
+    def test_no_placeholder_evaluation(self, expander_network):
+        result = quantum_weighted_diameter(expander_network, seed=0)
+        costs = result.outer_charge.costs
+        assert costs.evaluation.protocol == "quantum-search[inner[diameter]]"
+        assert (
+            costs.evaluation.congested_rounds
+            == result.inner_outcome.charge.total_rounds
+        )
+
+    def test_evaluation_cost_is_inner_charge_flattened(self, expander_network):
+        result = quantum_weighted_diameter(expander_network, seed=1)
+        evaluation = result.outer_charge.costs.evaluation
+        assert evaluation == result.inner_outcome.charge.as_report()
+
+    def test_flattened_totals_match_charge_components(self, expander_network):
+        result = quantum_weighted_radius(expander_network, seed=2)
+        expected = result.outer_charge.as_report()
+        report = result.report
+        assert report.rounds == expected.rounds
+        assert report.congested_rounds == expected.congested_rounds
+        assert report.total_messages == expected.total_messages
+        assert report.total_bits == expected.total_bits
+        assert report.max_message_bits == expected.max_message_bits
+        assert report.protocol == "quantum-weighted-radius"
+
+    def test_flattened_totals_pinned(self, expander_network):
+        """Regression pin: the exact flattened totals of the seed-0 run."""
+        report = quantum_weighted_diameter(expander_network, seed=0).report
+        assert report.rounds == 36220
+        assert report.congested_rounds == 99620
+        assert report.total_messages == 41876
+        assert report.total_bits == 1628723
+        assert report.max_message_bits == 70

@@ -6,10 +6,13 @@ import math
 
 import pytest
 
-from repro.congest import Network
+from repro.congest import Network, RoundReport
 from repro.graphs import dijkstra, eccentricity, random_weighted_graph
 from repro.nanongkai import SkeletonApproximator, sample_skeleton_sets
-from repro.nanongkai.skeleton import approximate_distance_via_skeleton
+from repro.nanongkai.skeleton import (
+    PipelineComposer,
+    approximate_distance_via_skeleton,
+)
 
 INF = math.inf
 
@@ -135,3 +138,62 @@ class TestSkeletonApproximator:
         t2 = approx.evaluation_report().congested_rounds
         assert t0 > t2
         assert t1 > t2
+
+
+class TestPipelineComposer:
+    def _report(self, rounds, congested, messages, bits, biggest, protocol):
+        return RoundReport(
+            rounds=rounds,
+            congested_rounds=congested,
+            total_messages=messages,
+            total_bits=bits,
+            max_message_bits=biggest,
+            protocol=protocol,
+        )
+
+    def test_flattening_matches_sequential(self):
+        a = self._report(3, 5, 7, 90, 12, "a")
+        b = self._report(2, 2, 1, 30, 40, "b")
+        composer = PipelineComposer("pipeline")
+        composer.add("first", a)
+        composer.add("second", b)
+        report = composer.report()
+        expected = RoundReport.sequential([a, b])
+        assert report.rounds == expected.rounds
+        assert report.congested_rounds == expected.congested_rounds
+        assert report.total_messages == expected.total_messages
+        assert report.total_bits == expected.total_bits
+        assert report.max_message_bits == expected.max_message_bits
+        assert report.protocol == "pipeline"
+
+    def test_phases_recorded_in_order(self):
+        composer = PipelineComposer("pipeline")
+        a = composer.add("first", self._report(1, 1, 0, 0, 0, "a"))
+        composer.add("second", self._report(2, 2, 0, 0, 0, "b"))
+        assert [phase for phase, _ in composer.phases] == ["first", "second"]
+        assert a.protocol == "a"  # add() returns the report unchanged
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineComposer("pipeline").report()
+
+    def test_single_phase_is_identity_up_to_protocol(self):
+        a = self._report(4, 9, 2, 17, 8, "a")
+        composer = PipelineComposer("renamed")
+        composer.add("only", a)
+        report = composer.report()
+        assert (
+            report.rounds,
+            report.congested_rounds,
+            report.total_messages,
+            report.total_bits,
+            report.max_message_bits,
+        ) == (4, 9, 2, 17, 8)
+        assert report.protocol == "renamed"
+
+    def test_setup_report_equals_flattened_phases(self, approximator):
+        """The composed skeleton-setup report is the sequential flattening."""
+        _, approx = approximator
+        report = approx.setup_report()
+        assert report.protocol == "skeleton-setup"
+        assert report.congested_rounds > 0

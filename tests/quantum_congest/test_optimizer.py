@@ -152,3 +152,69 @@ class TestValidation:
         optimizer = _optimizer()
         with pytest.raises(ValueError):
             optimizer.maximize([], lambda x: x)
+
+
+class TestDeferredCosts:
+    """``search_with_promise`` with a ``finalize_costs`` callback.
+
+    The Theorem 1.1 outer search only knows its per-Evaluation cost after
+    the element has been evaluated (it is the measured inner charge), so
+    the optimizer accepts ``costs=None`` and a callback that supplies the
+    :class:`ProcedureCosts` for the returned element.
+    """
+
+    def test_finalize_costs_supplies_the_charge(self):
+        optimizer = DistributedQuantumOptimizer(
+            None, delta=0.1, rng=np.random.default_rng(0)
+        )
+        finalized = []
+
+        def finalize(element):
+            finalized.append(element)
+            return _costs(t0=int(element) + 1)
+
+        outcome = optimizer.search_with_promise(
+            list(range(20)), [3, 4], lambda x: float(x), finalize_costs=finalize
+        )
+        assert finalized == [outcome.element]
+        assert outcome.charge.costs.t0_rounds == int(outcome.element) + 1
+
+    def test_finalize_costs_overrides_constructor_costs(self):
+        optimizer = _optimizer(seed=2)
+        override = _costs(t0=999)
+        outcome = optimizer.search_with_promise(
+            list(range(10)), [1, 2], lambda x: float(x),
+            finalize_costs=lambda element: override,
+        )
+        assert outcome.charge.costs is override
+
+    def test_outcome_identical_to_constructor_costs_path(self):
+        """Deferred and eager charging must produce identical outcomes."""
+        eager = _optimizer(seed=7).search_with_promise(
+            list(range(30)), [5, 6, 7], lambda x: float(x)
+        )
+        deferred = DistributedQuantumOptimizer(
+            None, delta=0.1, rng=np.random.default_rng(7)
+        ).search_with_promise(
+            list(range(30)), [5, 6, 7], lambda x: float(x),
+            finalize_costs=lambda element: _costs(),
+        )
+        assert deferred.element == eager.element
+        assert deferred.value == eager.value
+        assert deferred.invocations == eager.invocations
+        assert deferred.charge.total_rounds == eager.charge.total_rounds
+
+    def test_missing_costs_rejected_without_finalizer(self):
+        optimizer = DistributedQuantumOptimizer(
+            None, delta=0.1, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError, match="without procedure costs"):
+            optimizer.search_with_promise(list(range(5)), [1], lambda x: float(x))
+
+    def test_missing_costs_rejected_for_plain_search(self):
+        optimizer = DistributedQuantumOptimizer(
+            None, delta=0.1, rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ValueError, match="without procedure costs"):
+            optimizer.maximize([1, 2, 3], lambda x: float(x))
+        assert optimizer.costs is None
