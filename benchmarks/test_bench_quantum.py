@@ -1,0 +1,134 @@
+"""E12 -- quantum backend registry: NumPy tier vs pure-Python tier.
+
+The quantum subsystem executes on the statevector backend registry
+(:mod:`repro.quantum.backend`).  This benchmark runs the *same* Dürr-Høyer
+maximum-finding workload -- same values, same seed, hence byte-identical
+iteration schedules and query counts across backends -- under every
+registered backend and records the wall-clock per backend.
+
+Two properties are pinned:
+
+* **Observational identity**: every backend reports the same optimum and the
+  same oracle-query count for the same seed (the differential tests check
+  this exhaustively at small sizes; here it is checked at benchmark scale).
+* **A backend-relative speedup floor**: the vectorized NumPy tier must beat
+  the pure-Python tier by at least 5x on an ``n >= 1024`` workload.  The
+  ratio is measured on the same machine in the same process, so it is stable
+  across runner hardware in a way absolute timings are not.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.quantum import available_backends, quantum_maximum
+
+DOMAIN = 2048
+SEED = 3
+REPETITIONS = 3
+TIMING_ROUNDS = 3
+SPEEDUP_FLOOR = 5.0
+
+HEADERS = [
+    "backend",
+    "best time (ms)",
+    "oracle queries",
+    "optimum found",
+    "speedup vs python",
+]
+
+
+def _workload_values():
+    values = list(range(DOMAIN))
+    random.Random(29).shuffle(values)
+    return values
+
+
+def _run_backend(name, values):
+    timings = []
+    result = None
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        result = quantum_maximum(
+            values, rng=SEED, repetitions=REPETITIONS, backend=name
+        )
+        timings.append(time.perf_counter() - start)
+    return {
+        "backend": name,
+        "best_seconds": min(timings),
+        "oracle_queries": result.oracle_queries,
+        "value": result.value,
+        "is_exact": bool(result.is_exact),
+    }
+
+
+def _sweep():
+    values = _workload_values()
+    return [_run_backend(name, values) for name in sorted(available_backends())]
+
+
+def test_quantum_backend_speedup(benchmark, record_artifact, record_json):
+    measurements = run_once(benchmark, _sweep)
+    by_name = {entry["backend"]: entry for entry in measurements}
+    python_time = by_name["python"]["best_seconds"]
+
+    rows = []
+    for entry in measurements:
+        speedup = python_time / entry["best_seconds"]
+        entry["speedup_vs_python"] = round(speedup, 2)
+        rows.append(
+            [
+                entry["backend"],
+                round(entry["best_seconds"] * 1e3, 2),
+                entry["oracle_queries"],
+                entry["value"],
+                f"{speedup:.1f}x",
+            ]
+        )
+    table = render_table(
+        HEADERS,
+        rows,
+        title=(
+            f"Quantum backends: Dürr-Høyer maximum on N={DOMAIN} "
+            f"(seed {SEED}, {REPETITIONS} batched repetitions)"
+        ),
+    )
+    record_artifact("quantum_backends", table)
+    record_json(
+        "quantum_backends",
+        {
+            "workload": {
+                "algorithm": "quantum_maximum",
+                "domain_size": DOMAIN,
+                "seed": SEED,
+                "repetitions": REPETITIONS,
+                "timing_rounds": TIMING_ROUNDS,
+            },
+            "results": measurements,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
+
+    # Observational identity at benchmark scale: same optimum, same queries.
+    reference = measurements[0]
+    for entry in measurements[1:]:
+        assert entry["value"] == reference["value"]
+        assert entry["oracle_queries"] == reference["oracle_queries"]
+
+    # Query counts stay Grover-like on this domain.
+    assert reference["oracle_queries"] <= REPETITIONS * (
+        2 * (9 * math.sqrt(DOMAIN) + 20) + 20
+    )
+
+    # The vectorized tier must clear the backend-relative speedup floor.
+    if "numpy" in by_name:
+        numpy_speedup = python_time / by_name["numpy"]["best_seconds"]
+        assert numpy_speedup >= SPEEDUP_FLOOR, (
+            f"numpy backend only {numpy_speedup:.1f}x over python "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )

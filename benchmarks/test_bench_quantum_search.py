@@ -14,12 +14,12 @@ Two measurements back the cost model used everywhere else in the repo:
 from __future__ import annotations
 
 import math
+import random
 
-import numpy as np
 from conftest import run_once
 
 from repro.analysis import fit_power_law, render_table
-from repro.quantum import quantum_maximum
+from repro.quantum import get_backend, quantum_maximum
 from repro.quantum_congest import grover_invocation_count
 
 SEARCH_HEADERS = [
@@ -33,16 +33,14 @@ INVOCATION_HEADERS = ["rho", "delta", "invocations (Lemma 3.1)", "sqrt(ln(1/delt
 
 def _search_rows():
     rows = []
-    rng_values = np.random.default_rng(11)
     for domain in (16, 64, 256, 1024):
-        values = list(rng_values.permutation(domain))
+        values = list(range(domain))
+        random.Random(11).shuffle(values)
         queries = []
         successes = 0
         trials = 6
         for seed in range(trials):
-            result = quantum_maximum(
-                values, rng=np.random.default_rng(seed), repetitions=1
-            )
+            result = quantum_maximum(values, rng=seed, repetitions=1)
             queries.append(result.oracle_queries)
             successes += bool(result.is_exact)
         rows.append(
@@ -75,7 +73,7 @@ def _sweep():
     return _search_rows(), _invocation_rows()
 
 
-def test_quantum_search_scaling(benchmark, record_artifact):
+def test_quantum_search_scaling(benchmark, record_artifact, record_json):
     search_rows, invocation_rows = run_once(benchmark, _sweep)
 
     search_table = render_table(
@@ -92,6 +90,33 @@ def test_quantum_search_scaling(benchmark, record_artifact):
 
     # Query growth is square-root-like: fit and compare against linear.
     fit = fit_power_law([row[0] for row in search_rows], [row[1] for row in search_rows])
+    record_json(
+        "quantum_search",
+        {
+            "workload": {
+                "domains": [row[0] for row in search_rows],
+                "trials_per_domain": 6,
+                "repetitions": 1,
+                "quantum_backend": get_backend().name,
+            },
+            "results": {
+                "mean_oracle_queries": {
+                    str(row[0]): row[1] for row in search_rows
+                },
+                "success_rates": {str(row[0]): row[3] for row in search_rows},
+                "query_growth_exponent": fit.exponent,
+                "invocation_grid": [
+                    {
+                        "rho": row[0],
+                        "delta": row[1],
+                        "invocations": row[2],
+                        "formula": row[3],
+                    }
+                    for row in invocation_rows
+                ],
+            },
+        },
+    )
     assert 0.3 <= fit.exponent <= 0.75
     # The searches essentially always find the true maximum.
     total_success = sum(int(row[3].split("/")[0]) for row in search_rows)

@@ -1,19 +1,26 @@
 """Standard single- and multi-qubit gate matrices.
 
-All gates are plain ``numpy`` arrays of dtype ``complex128``.  The library
-only needs a handful of gates (Hadamard for uniform superpositions, X/Z for
-oracles and diffusion, controlled versions for multi-qubit constructions),
-but the usual textbook set is provided for completeness and for the tests
-that check unitarity and algebraic identities.
+Gates are :class:`GateMatrix` values -- immutable, dependency-free complex
+matrices backed by nested tuples, so this module imports without NumPy (the
+backend registry's pure-Python tier needs ``import repro.quantum`` to work on
+a bare interpreter).  ``GateMatrix`` supports ``@`` against other gates and
+against plain sequences/arrays, and converts transparently to a NumPy array
+(``np.asarray`` / ``np.allclose``) when NumPy is present.
+
+The library only needs a handful of gates (Hadamard for uniform
+superpositions, X/Z for oracles and diffusion, controlled versions for
+multi-qubit constructions), but the usual textbook set is provided for
+completeness and for the tests that check unitarity and algebraic identities.
 """
 
 from __future__ import annotations
 
+import cmath
 import math
-
-import numpy as np
+from typing import Iterator, Sequence, Tuple, Union
 
 __all__ = [
+    "GateMatrix",
     "IDENTITY",
     "PAULI_X",
     "PAULI_Y",
@@ -27,64 +34,209 @@ __all__ = [
     "rotation_z",
     "controlled",
     "is_unitary",
+    "matrix_rows",
 ]
 
-IDENTITY = np.eye(2, dtype=complex)
-
-PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
-
-PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
-
-PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
-
-HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
-
-S_GATE = np.array([[1, 0], [0, 1j]], dtype=complex)
-
-T_GATE = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+MatrixLike = Union["GateMatrix", Sequence[Sequence[complex]]]
 
 
-def phase_gate(theta: float) -> np.ndarray:
+def matrix_rows(matrix: MatrixLike) -> Tuple[Tuple[complex, ...], ...]:
+    """Normalise any matrix-like object into nested tuples of ``complex``.
+
+    Accepts :class:`GateMatrix`, nested sequences, and NumPy arrays (which
+    iterate row by row).  Raises :class:`ValueError` for ragged input and
+    :class:`TypeError` for scalars.
+    """
+    if isinstance(matrix, GateMatrix):
+        return matrix.rows
+    rows = tuple(tuple(complex(value) for value in row) for row in matrix)
+    if rows and any(len(row) != len(rows[0]) for row in rows):
+        raise ValueError("matrix rows must all have the same length")
+    return rows
+
+
+class GateMatrix:
+    """An immutable complex matrix with ``@`` and NumPy interop.
+
+    Stored as nested tuples; ``gate[i][j]`` indexes entries, ``gate @ other``
+    multiplies against another matrix (returning a :class:`GateMatrix`) or a
+    flat vector (returning a tuple of ``complex``), and ``__array__`` lets
+    ``np.asarray(gate)`` work without this module importing NumPy.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: MatrixLike) -> None:
+        self._rows = matrix_rows(rows)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> Tuple[Tuple[complex, ...], ...]:
+        """The entries as nested tuples."""
+        return self._rows
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(#rows, #columns)``."""
+        return (len(self._rows), len(self._rows[0]) if self._rows else 0)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Tuple[complex, ...]]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Tuple[complex, ...]:
+        return self._rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GateMatrix):
+            return self._rows == other._rows
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GateMatrix({[list(row) for row in self._rows]!r})"
+
+    def __array__(self, dtype=None, copy=None):  # pragma: no cover - numpy hook
+        import numpy
+
+        return numpy.array(self._rows, dtype=complex if dtype is None else dtype)
+
+    # ------------------------------------------------------------------ #
+    def conjugate_transpose(self) -> "GateMatrix":
+        """The Hermitian adjoint."""
+        rows, cols = self.shape
+        return GateMatrix(
+            tuple(
+                tuple(self._rows[i][j].conjugate() for i in range(rows))
+                for j in range(cols)
+            )
+        )
+
+    def __matmul__(self, other):
+        rows, inner = self.shape
+        first = None
+        for element in other:
+            first = element
+            break
+        if first is not None and not _is_row(first):
+            # Matrix @ vector.
+            vector = tuple(complex(value) for value in other)
+            if len(vector) != inner:
+                raise ValueError(
+                    f"cannot multiply {self.shape} matrix by length-{len(vector)} vector"
+                )
+            return tuple(
+                sum(row[j] * vector[j] for j in range(inner)) for row in self._rows
+            )
+        other_rows = matrix_rows(other)
+        if len(other_rows) != inner:
+            raise ValueError(
+                f"cannot multiply {self.shape} matrix by {len(other_rows)}-row matrix"
+            )
+        cols = len(other_rows[0]) if other_rows else 0
+        return GateMatrix(
+            tuple(
+                tuple(
+                    sum(row[k] * other_rows[k][j] for k in range(inner))
+                    for j in range(cols)
+                )
+                for row in self._rows
+            )
+        )
+
+    def __rmatmul__(self, other):
+        return GateMatrix(other) @ self
+
+
+def _is_row(element: object) -> bool:
+    """True when ``element`` looks like a row (an iterable, not a scalar)."""
+    if isinstance(element, (int, float, complex)):
+        return False
+    return hasattr(element, "__len__") or hasattr(element, "__iter__")
+
+
+IDENTITY = GateMatrix([[1, 0], [0, 1]])
+
+PAULI_X = GateMatrix([[0, 1], [1, 0]])
+
+PAULI_Y = GateMatrix([[0, -1j], [1j, 0]])
+
+PAULI_Z = GateMatrix([[1, 0], [0, -1]])
+
+_INV_SQRT2 = 1 / math.sqrt(2)
+
+HADAMARD = GateMatrix(
+    [[_INV_SQRT2, _INV_SQRT2], [_INV_SQRT2, -_INV_SQRT2]]
+)
+
+S_GATE = GateMatrix([[1, 0], [0, 1j]])
+
+T_GATE = GateMatrix([[1, 0], [0, cmath.exp(1j * math.pi / 4)]])
+
+
+def phase_gate(theta: float) -> GateMatrix:
     """Return ``diag(1, e^{i theta})``."""
-    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+    return GateMatrix([[1, 0], [0, cmath.exp(1j * theta)]])
 
 
-def rotation_x(theta: float) -> np.ndarray:
+def rotation_x(theta: float) -> GateMatrix:
     """Rotation by ``theta`` about the X axis of the Bloch sphere."""
     c, s = math.cos(theta / 2), math.sin(theta / 2)
-    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    return GateMatrix([[c, -1j * s], [-1j * s, c]])
 
 
-def rotation_y(theta: float) -> np.ndarray:
+def rotation_y(theta: float) -> GateMatrix:
     """Rotation by ``theta`` about the Y axis of the Bloch sphere."""
     c, s = math.cos(theta / 2), math.sin(theta / 2)
-    return np.array([[c, -s], [s, c]], dtype=complex)
+    return GateMatrix([[c, -s], [s, c]])
 
 
-def rotation_z(theta: float) -> np.ndarray:
+def rotation_z(theta: float) -> GateMatrix:
     """Rotation by ``theta`` about the Z axis of the Bloch sphere."""
-    return np.array(
-        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    return GateMatrix(
+        [[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]]
     )
 
 
-def controlled(gate: np.ndarray) -> np.ndarray:
+def controlled(gate: MatrixLike) -> GateMatrix:
     """Return the controlled version of a single-qubit ``gate`` (4x4 matrix).
 
     The control qubit is the more significant one (little-endian convention of
     :class:`~repro.quantum.statevector.StateVector`).
     """
-    if gate.shape != (2, 2):
-        raise ValueError(f"controlled() expects a 2x2 gate, got shape {gate.shape}")
-    out = np.eye(4, dtype=complex)
-    out[2:, 2:] = gate
-    return out
+    rows = matrix_rows(gate)
+    if len(rows) != 2 or len(rows[0]) != 2:
+        raise ValueError(
+            f"controlled() expects a 2x2 gate, got shape ({len(rows)}, "
+            f"{len(rows[0]) if rows else 0})"
+        )
+    return GateMatrix(
+        [
+            [1, 0, 0, 0],
+            [0, 1, 0, 0],
+            [0, 0, rows[0][0], rows[0][1]],
+            [0, 0, rows[1][0], rows[1][1]],
+        ]
+    )
 
 
-def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+def is_unitary(matrix: MatrixLike, atol: float = 1e-10) -> bool:
     """Return ``True`` if ``matrix`` is unitary within tolerance."""
-    matrix = np.asarray(matrix, dtype=complex)
-    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+    try:
+        rows = matrix_rows(matrix)
+    except (TypeError, ValueError):
         return False
-    product = matrix.conj().T @ matrix
-    return bool(np.allclose(product, np.eye(matrix.shape[0]), atol=atol))
+    n = len(rows)
+    if n == 0 or any(len(row) != n for row in rows):
+        return False
+    for i in range(n):
+        for j in range(n):
+            entry = sum(rows[k][i].conjugate() * rows[k][j] for k in range(n))
+            target = 1.0 if i == j else 0.0
+            if abs(entry - target) > atol:
+                return False
+    return True

@@ -20,18 +20,23 @@ search domain:
 When the number of marked elements is unknown, :func:`grover_search_unknown`
 uses the standard exponential-guessing schedule (Boyer-Brassard-Høyer-Tapp),
 which is also what Dürr-Høyer minimum finding calls internally.
+
+The searches execute on raw backend amplitude buffers
+(:mod:`repro.quantum.backend`), and the marking *predicate is evaluated once
+per basis state per search* to precompute a marked mask -- each of the
+``O(sqrt(N))`` Grover iterations then applies the mask without re-invoking
+the predicate.  ``oracle_queries`` still counts phase-oracle *applications*
+(the quantum query complexity), exactly as before.
 """
 
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-import numpy as np
-
-from repro.quantum.statevector import StateVector
+from repro.quantum.backend import get_backend
+from repro.quantum.rng import RandomSource, as_quantum_rng
 
 __all__ = [
     "GroverResult",
@@ -111,11 +116,20 @@ def _num_qubits_for(domain_size: int) -> int:
     return max(1, math.ceil(math.log2(domain_size)))
 
 
+def _marked_flags(domain_size: int, dim: int, oracle: Callable[[int], bool]) -> list:
+    """Evaluate the predicate once per domain element (padding stays False)."""
+    flags = [False] * dim
+    for state in range(domain_size):
+        flags[state] = bool(oracle(state))
+    return flags
+
+
 def grover_search(
     domain_size: int,
     oracle: Callable[[int], bool],
     num_marked: Optional[int] = None,
-    rng: Optional[np.random.Generator] = None,
+    rng: Optional[RandomSource] = None,
+    backend: Optional[str] = None,
 ) -> GroverResult:
     """Run Grover search over ``{0, ..., domain_size - 1}``.
 
@@ -124,14 +138,18 @@ def grover_search(
     domain_size:
         Size of the search domain (need not be a power of two).
     oracle:
-        Predicate marking the good elements.
+        Predicate marking the good elements (evaluated once per domain
+        element to precompute the marked mask).
     num_marked:
         If known, the number of marked elements; the optimal iteration count
-        is used.  If ``None`` the count is obtained by evaluating the oracle
-        classically over the domain (the tests use this mode); for the
-        unknown-count quantum schedule use :func:`grover_search_unknown`.
+        is used.  If ``None`` the count is taken from the precomputed mask
+        (the tests use this mode); for the unknown-count quantum schedule use
+        :func:`grover_search_unknown`.
     rng:
-        Measurement randomness.
+        Measurement randomness (seed / ``random.Random`` / NumPy generator /
+        :class:`~repro.quantum.rng.QuantumRng`).
+    backend:
+        Optional backend override (defaults to registry selection).
 
     Returns
     -------
@@ -139,13 +157,17 @@ def grover_search(
     """
     if domain_size < 1:
         raise ValueError("domain_size must be positive")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = as_quantum_rng(rng)
+    engine = get_backend(backend)
+    num_qubits = _num_qubits_for(domain_size)
+    dim = 2**num_qubits
+    flags = _marked_flags(domain_size, dim, oracle)
     if num_marked is None:
-        num_marked = sum(1 for x in range(domain_size) if oracle(x))
+        num_marked = sum(flags)
     if num_marked == 0:
         # Nothing to find; measuring the uniform superposition gives an
         # unmarked element and zero queries are spent.
-        outcome = int(rng.integers(domain_size))
+        outcome = rng.randrange(domain_size)
         return GroverResult(
             outcome=outcome,
             is_marked=False,
@@ -154,28 +176,21 @@ def grover_search(
             success_probability=0.0,
         )
 
-    num_qubits = _num_qubits_for(domain_size)
-    state = StateVector(num_qubits, rng=rng)
-    state.prepare_uniform(domain_size)
-
-    def domain_oracle(x: int) -> bool:
-        return x < domain_size and oracle(x)
+    mask = engine.as_mask(flags, dim)
+    state = engine.uniform_state(dim, domain_size)
 
     iterations = grover_iterations(domain_size, num_marked)
     queries = 0
     for _ in range(iterations):
-        state.apply_phase_oracle(domain_oracle)
+        engine.phase_flip(state, mask)
         queries += 1
-        state.apply_diffusion(domain_size)
+        engine.diffusion(state, domain_size)
 
-    probabilities = state.probabilities()
-    success_probability = float(
-        sum(probabilities[x] for x in range(domain_size) if domain_oracle(x))
-    )
-    outcome = state.measure()
+    success_probability = float(engine.masked_probability(state, mask))
+    outcome = engine.sample_index(engine.probabilities(state), rng)
     return GroverResult(
         outcome=outcome,
-        is_marked=domain_oracle(outcome),
+        is_marked=flags[outcome],
         oracle_queries=queries,
         iterations=iterations,
         success_probability=success_probability,
@@ -185,9 +200,10 @@ def grover_search(
 def grover_search_unknown(
     domain_size: int,
     oracle: Callable[[int], bool],
-    rng: Optional[np.random.Generator] = None,
+    rng: Optional[RandomSource] = None,
     growth: float = 6 / 5,
     max_rounds: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> GroverResult:
     """Grover search when the number of marked elements is unknown.
 
@@ -202,12 +218,12 @@ def grover_search_unknown(
     """
     if domain_size < 1:
         raise ValueError("domain_size must be positive")
-    rng = rng if rng is not None else np.random.default_rng(0)
-    python_rng = random.Random(int(rng.integers(2**32)))
+    rng = as_quantum_rng(rng)
+    engine = get_backend(backend)
     num_qubits = _num_qubits_for(domain_size)
-
-    def domain_oracle(x: int) -> bool:
-        return x < domain_size and oracle(x)
+    dim = 2**num_qubits
+    flags = _marked_flags(domain_size, dim, oracle)
+    mask = engine.as_mask(flags, dim)
 
     ceiling = 1.0
     total_queries = 0
@@ -218,25 +234,21 @@ def grover_search_unknown(
     last_outcome = 0
     while rounds < max_rounds and total_queries <= query_budget:
         rounds += 1
-        iterations = python_rng.randrange(int(ceiling)) if ceiling >= 1 else 0
-        state = StateVector(num_qubits, rng=rng)
-        state.prepare_uniform(domain_size)
+        iterations = rng.randrange(int(ceiling)) if int(ceiling) >= 1 else 0
+        state = engine.uniform_state(dim, domain_size)
         for _ in range(iterations):
-            state.apply_phase_oracle(domain_oracle)
-            state.apply_diffusion(domain_size)
+            engine.phase_flip(state, mask)
+            engine.diffusion(state, domain_size)
         total_queries += iterations
-        outcome = state.measure()
+        outcome = engine.sample_index(engine.probabilities(state), rng)
         if outcome >= domain_size:
             # Padding state measured (domain not a power of two); re-draw
             # uniformly from the domain as the classical check candidate.
-            outcome = int(rng.integers(domain_size))
+            outcome = rng.randrange(domain_size)
         last_outcome = outcome
         total_queries += 1  # classical verification query
-        if domain_oracle(outcome):
-            probabilities = state.probabilities()
-            success_probability = float(
-                sum(probabilities[x] for x in range(domain_size) if domain_oracle(x))
-            )
+        if flags[outcome]:
+            success_probability = float(engine.masked_probability(state, mask))
             return GroverResult(
                 outcome=outcome,
                 is_marked=True,
@@ -247,7 +259,7 @@ def grover_search_unknown(
         ceiling = min(growth * ceiling, math.sqrt(domain_size))
     return GroverResult(
         outcome=last_outcome,
-        is_marked=domain_oracle(last_outcome),
+        is_marked=flags[last_outcome],
         oracle_queries=total_queries,
         iterations=rounds,
         success_probability=0.0,

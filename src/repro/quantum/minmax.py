@@ -1,4 +1,4 @@
-"""Dürr-Høyer quantum minimum / maximum finding.
+"""Dürr-Høyer quantum minimum / maximum finding, batched across repetitions.
 
 The paper's algorithm needs to find an element with the *maximum* value of a
 function ``f`` (an approximate eccentricity) over a search domain, with only
@@ -17,6 +17,16 @@ analysis, far smaller in practice) the result is the true optimum with
 probability at least 1/2, and repeating ``O(log(1/δ))`` times boosts the
 success probability to ``1 - δ``.
 
+The ``log(1/δ)`` repetitions are *independent* runs, so this module executes
+them in lockstep on one batched ``repetitions x dim`` amplitude matrix
+(:meth:`~repro.quantum.backend.QuantumBackend.grover_step_rows`): each tick
+applies one Grover iteration to every run that still owes iterations in its
+current Boyer-Brassard-Høyer-Tapp round, which the NumPy backend turns into a
+handful of array sweeps instead of ``repetitions`` separate simulations.
+Each run draws from its own forked RNG stream, so the results -- thresholds,
+iteration schedules, measured outcomes, query counts -- are identical to
+running the repetitions one at a time, on every backend.
+
 Every evaluation of ``f`` is counted; the distributed layer multiplies these
 query counts by the measured round cost of one distributed evaluation, which
 is exactly how Lemma 3.1's ``T0 + O(sqrt(log(1/δ)/ρ)) * T`` bound arises.
@@ -25,12 +35,11 @@ is exactly how Lemma 3.1's ``T0 + O(sqrt(log(1/δ)/ρ)) * T`` bound arises.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.quantum.grover import grover_search_unknown
+from repro.quantum.backend import QuantumBackend, get_backend
+from repro.quantum.rng import QuantumRng, RandomSource, as_quantum_rng
 
 __all__ = [
     "QuantumExtremumResult",
@@ -38,6 +47,8 @@ __all__ = [
     "quantum_maximum",
     "expected_minmax_queries",
 ]
+
+_BBHT_GROWTH = 6 / 5
 
 
 @dataclass
@@ -85,54 +96,198 @@ def expected_minmax_queries(domain_size: int, confidence: float = 0.9) -> float:
     return repetitions * single
 
 
-def _extremum_search(
-    values: Sequence[float],
-    rng: np.random.Generator,
-    maximize: bool,
-    query_budget: Optional[int],
-) -> QuantumExtremumResult:
-    """One run of the Dürr-Høyer threshold algorithm."""
-    domain_size = len(values)
-    if domain_size == 0:
-        raise ValueError("cannot search an empty domain")
-    if query_budget is None:
-        query_budget = math.ceil(9 * math.sqrt(domain_size)) + 20
+@dataclass
+class _RunState:
+    """Dürr-Høyer state machine for one repetition (one matrix row)."""
 
-    threshold_index = int(rng.integers(domain_size))
-    threshold_value = values[threshold_index]
-    total_queries = 1  # evaluating the initial threshold
-    updates = 0
+    rng: QuantumRng
+    threshold_index: int
+    threshold_value: float
+    outer_budget: int
+    search_budget: int
+    max_rounds: int
+    total_queries: int = 1  # evaluating the initial threshold
+    updates: int = 0
+    # Current BBHT search state.
+    ceiling: float = 1.0
+    rounds: int = 0
+    search_queries: int = 0
+    pending_iterations: int = 0
+    done: bool = False
+    needs_reset: bool = field(default=True, repr=False)
 
-    def better(x: int) -> bool:
-        if maximize:
-            return values[x] > threshold_value
-        return values[x] < threshold_value
 
-    while total_queries < query_budget:
-        result = grover_search_unknown(domain_size, better, rng=rng)
-        total_queries += result.oracle_queries
-        if result.is_marked and better(result.outcome):
-            threshold_index = result.outcome
-            threshold_value = values[threshold_index]
-            updates += 1
+class _BatchedExtremumSearch:
+    """Run ``repetitions`` independent Dürr-Høyer searches in lockstep."""
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        rng: QuantumRng,
+        maximize: bool,
+        query_budget: Optional[int],
+        repetitions: int,
+        backend: QuantumBackend,
+    ) -> None:
+        domain_size = len(values)
+        if domain_size == 0:
+            raise ValueError("cannot search an empty domain")
+        self.values = values
+        self.maximize = maximize
+        self.backend = backend
+        self.domain_size = domain_size
+        self.num_qubits = max(1, math.ceil(math.log2(domain_size)))
+        self.dim = 2**self.num_qubits
+        self.sqrt_n = math.sqrt(domain_size)
+        outer_budget = (
+            math.ceil(9 * self.sqrt_n) + 20 if query_budget is None else query_budget
+        )
+        search_budget = math.ceil(9 * self.sqrt_n) + 10
+        max_rounds = 4 * math.ceil(math.log2(domain_size) + 1) + 10
+        self.table = backend.as_value_table(values)
+        # One forked stream per run: the draw order within a run is exactly
+        # that of a sequential execution, so batching cannot change results.
+        self.runs: List[_RunState] = []
+        for child in rng.spawn(max(1, repetitions)):
+            threshold_index = child.randrange(domain_size)
+            self.runs.append(
+                _RunState(
+                    rng=child,
+                    threshold_index=threshold_index,
+                    threshold_value=values[threshold_index],
+                    outer_budget=outer_budget,
+                    search_budget=search_budget,
+                    max_rounds=max_rounds,
+                )
+            )
+        self.matrix = backend.uniform_matrix(len(self.runs), self.dim, domain_size)
+        self.masks = [self._mask_for(run) for run in self.runs]
+        for row, run in enumerate(self.runs):
+            self._begin_bbht_round(row, run)
+
+    # ------------------------------------------------------------------ #
+    def _mask_for(self, run: _RunState):
+        return self.backend.threshold_mask(
+            self.table, run.threshold_value, self.maximize, self.dim
+        )
+
+    def _better(self, run: _RunState, index: int) -> bool:
+        if self.maximize:
+            return self.values[index] > run.threshold_value
+        return self.values[index] < run.threshold_value
+
+    def _begin_bbht_round(self, row: int, run: _RunState) -> None:
+        """Start the next BBHT round, or finish the run if budgets are spent.
+
+        Mirrors :func:`~repro.quantum.grover.grover_search_unknown`: the round
+        and query budgets are checked before each round; a search that
+        exhausts them without finding an improvement ends the whole run (with
+        good probability the threshold is already optimal).
+        """
+        if run.rounds >= run.max_rounds or run.search_queries > run.search_budget:
+            run.total_queries += run.search_queries
+            run.done = True
+            return
+        run.rounds += 1
+        ceiling = int(run.ceiling)
+        run.pending_iterations = run.rng.randrange(ceiling) if ceiling >= 1 else 0
+        run.needs_reset = True
+
+    def _finish_bbht_round(self, row: int, run: _RunState) -> None:
+        """Measure the row, check the candidate classically, and transition."""
+        run.search_queries += 1  # classical verification query
+        probabilities = self.backend.row_probabilities(self.matrix, row)
+        outcome = self.backend.sample_index(probabilities, run.rng)
+        if outcome >= self.domain_size:
+            outcome = run.rng.randrange(self.domain_size)
+        if self._better(run, outcome):
+            # Threshold search succeeded: fold its queries into the outer
+            # total, move the threshold, and start a fresh search (or stop if
+            # the outer budget is spent).
+            run.total_queries += run.search_queries
+            run.threshold_index = outcome
+            run.threshold_value = self.values[outcome]
+            run.updates += 1
+            self.masks[row] = self._mask_for(run)
+            if run.total_queries >= run.outer_budget:
+                run.done = True
+                return
+            run.ceiling = 1.0
+            run.rounds = 0
+            run.search_queries = 0
+            self._begin_bbht_round(row, run)
         else:
-            # The search failed to find anything better within its budget:
-            # with good probability the threshold is already optimal.
-            break
+            run.ceiling = min(_BBHT_GROWTH * run.ceiling, self.sqrt_n)
+            self._begin_bbht_round(row, run)
 
+    # ------------------------------------------------------------------ #
+    def execute(self) -> List[_RunState]:
+        backend, matrix = self.backend, self.matrix
+        while True:
+            active = [row for row, run in enumerate(self.runs) if not run.done]
+            if not active:
+                break
+            reset_rows = [row for row in active if self.runs[row].needs_reset]
+            if reset_rows:
+                backend.reset_uniform_rows(matrix, reset_rows, self.domain_size)
+                for row in reset_rows:
+                    self.runs[row].needs_reset = False
+            step_rows = [row for row in active if self.runs[row].pending_iterations > 0]
+            if step_rows:
+                backend.grover_step_rows(matrix, self.masks, step_rows, self.domain_size)
+                for row in step_rows:
+                    run = self.runs[row]
+                    run.pending_iterations -= 1
+                    run.search_queries += 1
+            for row in active:
+                run = self.runs[row]
+                if not run.done and run.pending_iterations == 0 and not run.needs_reset:
+                    self._finish_bbht_round(row, run)
+        return self.runs
+
+
+def _quantum_extremum(
+    values: Sequence[float],
+    rng: Optional[RandomSource],
+    repetitions: int,
+    query_budget: Optional[int],
+    maximize: bool,
+    backend: Optional[str],
+) -> QuantumExtremumResult:
+    runs = _BatchedExtremumSearch(
+        values=values,
+        rng=as_quantum_rng(rng),
+        maximize=maximize,
+        query_budget=query_budget,
+        repetitions=repetitions,
+        backend=get_backend(backend),
+    ).execute()
+    best = runs[0]
+    total_queries = 0
+    total_updates = 0
+    for run in runs:
+        total_queries += run.total_queries
+        total_updates += run.updates
+        if (maximize and run.threshold_value > best.threshold_value) or (
+            not maximize and run.threshold_value < best.threshold_value
+        ):
+            best = run
+    true_optimum = max(values) if maximize else min(values)
     return QuantumExtremumResult(
-        index=threshold_index,
-        value=threshold_value,
+        index=best.threshold_index,
+        value=best.threshold_value,
         oracle_queries=total_queries,
-        threshold_updates=updates,
+        threshold_updates=total_updates,
+        is_exact=bool(best.threshold_value == true_optimum),
     )
 
 
 def quantum_minimum(
     values: Sequence[float],
-    rng: Optional[np.random.Generator] = None,
+    rng: Optional[RandomSource] = None,
     repetitions: int = 3,
     query_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> QuantumExtremumResult:
     """Find (with high probability) the index of the minimum value.
 
@@ -144,61 +299,34 @@ def quantum_minimum(
         returned ``oracle_queries`` is what the round-cost model multiplies by
         the per-evaluation round cost.
     rng:
-        Randomness source.
+        Randomness source (seed / ``random.Random`` / NumPy generator /
+        :class:`~repro.quantum.rng.QuantumRng`).
     repetitions:
-        Number of independent runs; the best result is kept (standard success
+        Number of independent runs, executed in lockstep on one batched
+        amplitude matrix; the best result is kept (standard success
         amplification).
     query_budget:
         Optional per-run query cap (defaults to ``~9 sqrt(N)``).
+    backend:
+        Optional backend override (defaults to registry selection).
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
-    best: Optional[QuantumExtremumResult] = None
-    total_queries = 0
-    total_updates = 0
-    for _ in range(max(1, repetitions)):
-        run = _extremum_search(values, rng, maximize=False, query_budget=query_budget)
-        total_queries += run.oracle_queries
-        total_updates += run.threshold_updates
-        if best is None or run.value < best.value:
-            best = run
-    assert best is not None
-    true_min = min(values)
-    return QuantumExtremumResult(
-        index=best.index,
-        value=best.value,
-        oracle_queries=total_queries,
-        threshold_updates=total_updates,
-        is_exact=bool(best.value == true_min),
+    return _quantum_extremum(
+        values, rng, repetitions, query_budget, maximize=False, backend=backend
     )
 
 
 def quantum_maximum(
     values: Sequence[float],
-    rng: Optional[np.random.Generator] = None,
+    rng: Optional[RandomSource] = None,
     repetitions: int = 3,
     query_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> QuantumExtremumResult:
     """Find (with high probability) the index of the maximum value.
 
     See :func:`quantum_minimum`; this is the variant the diameter algorithm
     uses (the radius algorithm uses the minimum variant at the outer level).
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
-    best: Optional[QuantumExtremumResult] = None
-    total_queries = 0
-    total_updates = 0
-    for _ in range(max(1, repetitions)):
-        run = _extremum_search(values, rng, maximize=True, query_budget=query_budget)
-        total_queries += run.oracle_queries
-        total_updates += run.threshold_updates
-        if best is None or run.value > best.value:
-            best = run
-    assert best is not None
-    true_max = max(values)
-    return QuantumExtremumResult(
-        index=best.index,
-        value=best.value,
-        oracle_queries=total_queries,
-        threshold_updates=total_updates,
-        is_exact=bool(best.value == true_max),
+    return _quantum_extremum(
+        values, rng, repetitions, query_budget, maximize=True, backend=backend
     )

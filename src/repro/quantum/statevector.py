@@ -1,25 +1,37 @@
 """A dense state-vector quantum register.
 
 This is a deliberately small simulator: a register of ``k`` qubits is a
-``2^k`` complex vector; single- and two-qubit gates are applied by reshaping,
-and measurement samples from the squared amplitudes.  It is sufficient to run
-the Grover / Dürr-Høyer primitives on the search-domain sizes the benchmarks
-exercise (up to a few thousand basis states) and to verify their success
-probabilities exactly.
+``2^k`` complex vector; single- and two-qubit gates are applied by strided
+butterflies, and measurement samples from the squared amplitudes.  It is
+sufficient to run the Grover / Dürr-Høyer primitives on the search-domain
+sizes the benchmarks exercise (up to a few thousand basis states) and to
+verify their success probabilities exactly.
+
+Amplitude storage and every hot operation live behind the backend registry
+(:mod:`repro.quantum.backend`): vectorized NumPy arrays when NumPy is
+importable, plain Python lists otherwise, selected exactly like the CSR
+kernel backends (``REPRO_BACKEND`` / :func:`~repro.quantum.backend.force_backend`
+/ explicit ``backend=``).  Measurement randomness flows through the
+:class:`~repro.quantum.rng.QuantumRng` shim, so the same seed produces the
+same outcomes on every backend.
 
 Conventions
 -----------
 * Little-endian: qubit 0 is the least significant bit of the basis-state
   index.
 * Basis states are integers ``0 .. 2^k - 1``.
+* ``amplitudes`` / ``probabilities`` return plain Python lists on every
+  backend.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-import numpy as np
+from repro.quantum.backend import QuantumBackend, get_backend
+from repro.quantum.gates import matrix_rows
+from repro.quantum.rng import RandomSource, as_quantum_rng
 
 __all__ = ["StateVector", "measure_all", "sample_counts"]
 
@@ -32,12 +44,20 @@ class StateVector:
     num_qubits:
         Number of qubits (the vector has ``2**num_qubits`` entries).
     rng:
-        Optional :class:`numpy.random.Generator` used for measurements;
-        defaults to a fresh deterministic generator (seed 0).
+        Optional randomness source for measurements: an ``int`` seed, a
+        :class:`random.Random`, a NumPy ``Generator`` or a
+        :class:`~repro.quantum.rng.QuantumRng`.  Defaults to a fresh
+        deterministic stream (seed 0).
+    backend:
+        Optional backend name or instance; defaults to the registry's
+        selection (``REPRO_BACKEND`` / forced / ``auto``).
     """
 
     def __init__(
-        self, num_qubits: int, rng: Optional[np.random.Generator] = None
+        self,
+        num_qubits: int,
+        rng: Optional[RandomSource] = None,
+        backend: Optional[Union[str, QuantumBackend]] = None,
     ) -> None:
         if num_qubits < 1:
             raise ValueError("a register needs at least one qubit")
@@ -46,9 +66,9 @@ class StateVector:
                 f"{num_qubits} qubits exceeds the dense-simulation limit of 24"
             )
         self._num_qubits = num_qubits
-        self._amplitudes = np.zeros(2**num_qubits, dtype=complex)
-        self._amplitudes[0] = 1.0
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._backend = get_backend(backend)
+        self._amplitudes = self._backend.basis_state(2**num_qubits)
+        self._rng = as_quantum_rng(rng)
 
     # ------------------------------------------------------------------ #
     @property
@@ -62,21 +82,26 @@ class StateVector:
         return 2**self._num_qubits
 
     @property
-    def amplitudes(self) -> np.ndarray:
-        """A copy of the amplitude vector."""
-        return self._amplitudes.copy()
+    def backend(self) -> QuantumBackend:
+        """The backend executing this register's operations."""
+        return self._backend
+
+    @property
+    def amplitudes(self) -> List[complex]:
+        """A copy of the amplitude vector as a plain list."""
+        return self._backend.amplitude_list(self._amplitudes)
 
     def probability(self, basis_state: int) -> float:
         """Probability of observing ``basis_state`` on a full measurement."""
-        return float(abs(self._amplitudes[basis_state]) ** 2)
+        return float(self._backend.basis_probability(self._amplitudes, basis_state))
 
-    def probabilities(self) -> np.ndarray:
-        """Probabilities of every basis state."""
-        return np.abs(self._amplitudes) ** 2
+    def probabilities(self) -> List[float]:
+        """Probabilities of every basis state, as a plain list."""
+        return self._backend.probability_list(self._amplitudes)
 
     def norm(self) -> float:
         """The 2-norm of the state (1 for any valid state)."""
-        return float(np.linalg.norm(self._amplitudes))
+        return float(self._backend.norm(self._amplitudes))
 
     # ------------------------------------------------------------------ #
     # State preparation
@@ -85,21 +110,24 @@ class StateVector:
         """Reset the register to a computational basis state."""
         if not 0 <= basis_state < self.dimension:
             raise ValueError(f"basis state {basis_state} out of range")
-        self._amplitudes[:] = 0
-        self._amplitudes[basis_state] = 1.0
+        self._amplitudes = self._backend.basis_state(self.dimension, basis_state)
         return self
 
     def set_amplitudes(self, amplitudes: Sequence[complex]) -> "StateVector":
         """Load an explicit amplitude vector (it is normalised automatically)."""
-        vector = np.asarray(amplitudes, dtype=complex)
-        if vector.shape != (self.dimension,):
+        values = [complex(value) for value in amplitudes]
+        if len(values) != self.dimension:
             raise ValueError(
-                f"expected {self.dimension} amplitudes, got {vector.shape}"
+                f"expected {self.dimension} amplitudes, got ({len(values)},)"
             )
-        norm = np.linalg.norm(vector)
+        norm = math.sqrt(
+            sum(value.real * value.real + value.imag * value.imag for value in values)
+        )
         if norm < 1e-12:
             raise ValueError("cannot normalise the zero vector")
-        self._amplitudes = vector / norm
+        self._amplitudes = self._backend.state_from_amplitudes(
+            [value / norm for value in values], self.dimension
+        )
         return self
 
     def prepare_uniform(self, domain_size: Optional[int] = None) -> "StateVector":
@@ -113,50 +141,48 @@ class StateVector:
         size = self.dimension if domain_size is None else domain_size
         if not 1 <= size <= self.dimension:
             raise ValueError(f"domain_size {size} out of range")
-        self._amplitudes[:] = 0
-        self._amplitudes[:size] = 1 / math.sqrt(size)
+        self._amplitudes = self._backend.uniform_state(self.dimension, size)
         return self
 
     # ------------------------------------------------------------------ #
     # Gates
     # ------------------------------------------------------------------ #
-    def apply_single_qubit_gate(self, gate: np.ndarray, qubit: int) -> "StateVector":
-        """Apply a 2x2 unitary to one qubit."""
-        if gate.shape != (2, 2):
+    def apply_single_qubit_gate(self, gate, qubit: int) -> "StateVector":
+        """Apply a 2x2 unitary (GateMatrix, nested sequence or array) to one qubit."""
+        rows = matrix_rows(gate)
+        if len(rows) != 2 or len(rows[0]) != 2:
             raise ValueError("single-qubit gate must be 2x2")
         if not 0 <= qubit < self._num_qubits:
             raise ValueError(f"qubit index {qubit} out of range")
-        k = self._num_qubits
-        # Reshape so the target qubit becomes its own axis.
-        tensor = self._amplitudes.reshape([2] * k)
-        axis = k - 1 - qubit  # little-endian: qubit 0 is the last axis
-        tensor = np.moveaxis(tensor, axis, 0)
-        shape = tensor.shape
-        tensor = gate @ tensor.reshape(2, -1)
-        tensor = np.moveaxis(tensor.reshape(shape), 0, axis)
-        self._amplitudes = tensor.reshape(-1)
+        self._backend.apply_single_qubit_gate(
+            self._amplitudes, rows, qubit, self._num_qubits
+        )
         return self
 
     def apply_hadamard_all(self) -> "StateVector":
         """Apply a Hadamard to every qubit."""
-        from repro.quantum.gates import HADAMARD
-
-        for qubit in range(self._num_qubits):
-            self.apply_single_qubit_gate(HADAMARD, qubit)
+        self._backend.hadamard_all(self._amplitudes, self._num_qubits)
         return self
 
     def apply_phase_oracle(self, predicate: Callable[[int], bool]) -> "StateVector":
         """Flip the sign of every basis state ``x`` with ``predicate(x)`` true.
 
-        This is the standard phase oracle ``O_f |x> = (-1)^{f(x)} |x>`` used by
-        Grover search.
+        This is the standard phase oracle ``O_f |x> = (-1)^{f(x)} |x>`` used
+        by Grover search.  The predicate is evaluated once per basis state to
+        build a marked mask; repeated applications of the same oracle should
+        build the mask once and call :meth:`apply_phase_mask` per iteration.
         """
-        marked = np.fromiter(
-            (1.0 if predicate(state) else 0.0 for state in range(self.dimension)),
-            dtype=float,
-            count=self.dimension,
-        )
-        self._amplitudes = self._amplitudes * (1 - 2 * marked)
+        flags = [bool(predicate(state)) for state in range(self.dimension)]
+        return self.apply_phase_mask(flags)
+
+    def apply_phase_mask(self, mask: Sequence[bool]) -> "StateVector":
+        """Apply a phase oracle from a precomputed marked mask.
+
+        ``mask`` may be a plain boolean sequence or a mask previously built by
+        this register's backend (:meth:`QuantumBackend.as_mask`).
+        """
+        native = self._backend.as_mask(mask, self.dimension)
+        self._backend.phase_flip(self._amplitudes, native)
         return self
 
     def apply_diffusion(self, domain_size: Optional[int] = None) -> "StateVector":
@@ -170,19 +196,18 @@ class StateVector:
         size = self.dimension if domain_size is None else domain_size
         if not 1 <= size <= self.dimension:
             raise ValueError(f"domain_size {size} out of range")
-        mean = self._amplitudes[:size].mean()
-        self._amplitudes[:size] = 2 * mean - self._amplitudes[:size]
-        self._amplitudes[size:] = -self._amplitudes[size:]
+        self._backend.diffusion(self._amplitudes, size)
         return self
 
-    def apply_unitary(self, unitary: np.ndarray) -> "StateVector":
+    def apply_unitary(self, unitary) -> "StateVector":
         """Apply an arbitrary full-register unitary (for small registers/tests)."""
-        unitary = np.asarray(unitary, dtype=complex)
-        if unitary.shape != (self.dimension, self.dimension):
+        rows = matrix_rows(unitary)
+        if len(rows) != self.dimension or len(rows[0]) != self.dimension:
+            shape = (len(rows), len(rows[0]) if rows else 0)
             raise ValueError(
-                f"unitary must be {self.dimension}x{self.dimension}, got {unitary.shape}"
+                f"unitary must be {self.dimension}x{self.dimension}, got {shape}"
             )
-        self._amplitudes = unitary @ self._amplitudes
+        self._backend.apply_unitary(self._amplitudes, rows)
         return self
 
     # ------------------------------------------------------------------ #
@@ -190,29 +215,37 @@ class StateVector:
     # ------------------------------------------------------------------ #
     def measure(self) -> int:
         """Measure all qubits; collapses the state and returns the outcome."""
-        probabilities = self.probabilities()
-        probabilities = probabilities / probabilities.sum()
-        outcome = int(self._rng.choice(self.dimension, p=probabilities))
+        probabilities = self._backend.probabilities(self._amplitudes)
+        outcome = self._backend.sample_index(probabilities, self._rng)
         self.reset(outcome)
         return outcome
 
     def sample(self, shots: int) -> List[int]:
         """Sample ``shots`` outcomes without collapsing the state."""
-        probabilities = self.probabilities()
-        probabilities = probabilities / probabilities.sum()
+        probabilities = self._backend.probabilities(self._amplitudes)
         return [
-            int(value)
-            for value in self._rng.choice(self.dimension, size=shots, p=probabilities)
+            self._backend.sample_index(probabilities, self._rng)
+            for _ in range(shots)
         ]
 
     def copy(self) -> "StateVector":
-        """Return an independent copy sharing the same RNG seed stream."""
-        clone = StateVector(self._num_qubits, rng=self._rng)
-        clone._amplitudes = self._amplitudes.copy()
+        """Return an independent copy with an independently forked RNG.
+
+        Forking advances this register's stream by exactly one draw at copy
+        time; afterwards measuring the copy never advances the original's
+        stream (and vice versa).  The seed-stream aliasing the old docstring
+        promised is gone -- it made measurements on a copy silently perturb
+        the original.
+        """
+        clone = StateVector(self._num_qubits, rng=self._rng.fork(), backend=self._backend)
+        clone._amplitudes = self._backend.copy_state(self._amplitudes)
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"StateVector(num_qubits={self._num_qubits})"
+        return (
+            f"StateVector(num_qubits={self._num_qubits}, "
+            f"backend={self._backend.name!r})"
+        )
 
 
 def measure_all(state: StateVector) -> int:

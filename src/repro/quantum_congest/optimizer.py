@@ -30,9 +30,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.quantum.minmax import quantum_maximum, quantum_minimum
+from repro.quantum.rng import RandomSource, as_quantum_rng
 from repro.quantum_congest.model import (
     ProcedureCosts,
     QuantumCongestCharge,
@@ -101,7 +100,9 @@ class DistributedQuantumOptimizer:
     delta:
         Target failure probability of the search.
     rng:
-        Randomness source (measurements / emulated failures).
+        Randomness source (measurements / emulated failures): a seed, a
+        :class:`random.Random`, a NumPy ``Generator`` or a
+        :class:`~repro.quantum.rng.QuantumRng`.
     mode:
         Execution mode; ``AUTO`` by default.
     """
@@ -110,14 +111,14 @@ class DistributedQuantumOptimizer:
         self,
         costs: Optional[ProcedureCosts],
         delta: float = 0.1,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[RandomSource] = None,
         mode: SearchMode = SearchMode.AUTO,
     ) -> None:
         if not 0 < delta < 1:
             raise ValueError(f"delta must be in (0, 1), got {delta}")
         self._costs = costs
         self._delta = delta
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = as_quantum_rng(rng)
         self._mode = mode
 
     # ------------------------------------------------------------------ #
@@ -231,7 +232,9 @@ class DistributedQuantumOptimizer:
         domain = list(domain)
         if not domain:
             raise ValueError("cannot search an empty domain")
-        good = [element for element in good_elements if element in set(domain)]
+        domain_set = set(domain)
+        good = [element for element in good_elements if element in domain_set]
+        good_set = set(good)
         if not good:
             raise ValueError("the promised good set is empty")
         if rho is None:
@@ -241,9 +244,9 @@ class DistributedQuantumOptimizer:
 
         invocations = grover_invocation_count(rho, self._delta)
         if self._rng.random() < 1 - self._delta:
-            element = good[int(self._rng.integers(len(good)))]
+            element = good[self._rng.randrange(len(good))]
         else:
-            element = domain[int(self._rng.integers(len(domain)))]
+            element = domain[self._rng.randrange(len(domain))]
         value = float(evaluate(element))
         costs = (
             finalize_costs(element) if finalize_costs is not None
@@ -261,7 +264,7 @@ class DistributedQuantumOptimizer:
             value=value,
             invocations=invocations,
             charge=charge,
-            succeeded=element in set(good),
+            succeeded=element in good_set,
             mode=SearchMode.QUERY_MODEL,
         )
 
@@ -339,9 +342,7 @@ class DistributedQuantumOptimizer:
         invocations = grover_invocation_count(rho, self._delta)
         good_elements = [element for element in domain if is_good(values[element])]
         if self._rng.random() < 1 - self._delta and good_elements:
-            index = int(self._rng.integers(len(good_elements)))
-            element = good_elements[index]
+            element = good_elements[self._rng.randrange(len(good_elements))]
         else:
-            index = int(self._rng.integers(len(domain)))
-            element = domain[index]
+            element = domain[self._rng.randrange(len(domain))]
         return element, values[element], invocations

@@ -1,0 +1,172 @@
+"""Differential tests: every registered quantum backend must agree.
+
+The backend contract (see :mod:`repro.quantum.backend`) is *observational
+identity*: for the same seed, every backend produces the same oracle-query
+counts, the same iteration schedules, the same measured outcomes, and
+amplitudes equal up to floating-point summation order.  These tests run the
+full quantum stack under each registered backend via :func:`force_backend`
+and compare everything.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.quantum import (
+    StateVector,
+    available_backends,
+    force_backend,
+    get_backend,
+    grover_search,
+    quantum_maximum,
+    quantum_minimum,
+)
+from repro.quantum.backend import BACKEND_ENV_VAR, QuantumBackend, register_backend
+from repro.quantum.grover import grover_search_unknown
+
+BACKENDS = available_backends()
+AMPLITUDE_TOL = 1e-12
+
+
+def pairs(results):
+    first = results[0]
+    return [(first, other) for other in results[1:]]
+
+
+class TestRegistry:
+    def test_python_backend_always_registered(self):
+        assert "python" in BACKENDS
+
+    def test_get_backend_by_name(self):
+        for name in BACKENDS:
+            assert get_backend(name).name == name
+
+    def test_get_backend_passes_instances_through(self):
+        backend = get_backend("python")
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown quantum backend"):
+            get_backend("tensor-network")
+
+    def test_force_backend_pins_selection(self):
+        with force_backend("python") as backend:
+            assert backend.name == "python"
+            assert get_backend().name == "python"
+
+    def test_force_backend_restores_previous(self):
+        default = get_backend().name
+        with force_backend("python"):
+            pass
+        assert get_backend().name == default
+
+    def test_env_var_selects_backend(self):
+        code = (
+            "from repro.quantum import get_backend; print(get_backend().name)"
+        )
+        env = dict(os.environ, PYTHONPATH="src", **{BACKEND_ENV_VAR: "python"})
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, cwd=os.getcwd(),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "python"
+
+    def test_scipy_name_resolves_for_quantum(self):
+        # REPRO_BACKEND is shared with the CSR kernels; asking the quantum
+        # registry for "scipy" must resolve to a dense backend, not fail.
+        resolved = get_backend("scipy").name
+        assert resolved in ("numpy", "python")
+
+    def test_register_backend_overwrites(self):
+        class Fake(QuantumBackend):
+            name = "fake-for-test"
+
+        try:
+            register_backend(Fake())
+            assert "fake-for-test" in available_backends()
+            assert isinstance(get_backend("fake-for-test"), Fake)
+        finally:
+            from repro.quantum.backend import _REGISTRY
+
+            _REGISTRY.pop("fake-for-test", None)
+
+
+@pytest.mark.skipif(len(BACKENDS) < 2, reason="only one backend registered")
+class TestDifferential:
+    def test_grover_identical_outcomes_and_queries(self):
+        for seed in range(8):
+            results = []
+            for name in BACKENDS:
+                with force_backend(name):
+                    results.append(grover_search(64, lambda x: x % 9 == 2, rng=seed))
+            for first, other in pairs(results):
+                assert other.outcome == first.outcome
+                assert other.is_marked == first.is_marked
+                assert other.oracle_queries == first.oracle_queries
+                assert other.iterations == first.iterations
+                assert abs(other.success_probability - first.success_probability) < AMPLITUDE_TOL
+
+    def test_bbht_identical_schedules(self):
+        for seed in range(8):
+            results = []
+            for name in BACKENDS:
+                with force_backend(name):
+                    results.append(
+                        grover_search_unknown(48, lambda x: x in (5, 31), rng=seed)
+                    )
+            for first, other in pairs(results):
+                assert other.outcome == first.outcome
+                assert other.oracle_queries == first.oracle_queries
+                assert other.iterations == first.iterations
+
+    def test_minmax_identical_results(self):
+        values_rng = random.Random(17)
+        values = [values_rng.randrange(10**6) for _ in range(150)]
+        for seed in range(4):
+            for search in (quantum_maximum, quantum_minimum):
+                results = []
+                for name in BACKENDS:
+                    with force_backend(name):
+                        results.append(search(values, rng=seed))
+                for first, other in pairs(results):
+                    assert other.index == first.index
+                    assert other.value == first.value
+                    assert other.oracle_queries == first.oracle_queries
+                    assert other.threshold_updates == first.threshold_updates
+                    assert other.is_exact == first.is_exact
+
+    def test_statevector_amplitudes_match(self):
+        registers = []
+        for name in BACKENDS:
+            with force_backend(name):
+                state = StateVector(5, rng=3).apply_hadamard_all()
+                state.apply_phase_oracle(lambda x: x % 7 == 1)
+                state.apply_diffusion()
+                state.apply_single_qubit_gate(
+                    [[0, 1], [1, 0]], 2
+                )
+                registers.append(state)
+        for first, other in pairs(registers):
+            for a, b in zip(first.amplitudes, other.amplitudes):
+                assert abs(a - b) < AMPLITUDE_TOL
+
+    def test_statevector_measurements_match(self):
+        outcomes = []
+        for name in BACKENDS:
+            with force_backend(name):
+                state = StateVector(6, rng=123).apply_hadamard_all()
+                outcomes.append([state.sample(30), state.measure()])
+        for first, other in pairs(outcomes):
+            assert other == first
+
+    def test_explicit_backend_argument_beats_force(self):
+        with force_backend("python"):
+            for name in BACKENDS:
+                state = StateVector(2, backend=name)
+                assert state.backend.name == name

@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.quantum import (
+    GateMatrix,
     HADAMARD,
     IDENTITY,
     PAULI_X,
@@ -21,9 +21,23 @@ from repro.quantum.gates import (
     S_GATE,
     T_GATE,
     is_unitary,
+    matrix_rows,
     rotation_x,
     rotation_z,
 )
+
+
+def assert_matrix_close(actual, expected, tol=1e-10):
+    left, right = matrix_rows(actual), matrix_rows(expected)
+    assert len(left) == len(right)
+    for row_a, row_b in zip(left, right):
+        assert len(row_a) == len(row_b)
+        for a, b in zip(row_a, row_b):
+            assert abs(a - b) < tol
+
+
+def basis4(index):
+    return tuple(1 if i == index else 0 for i in range(4))
 
 
 class TestUnitarity:
@@ -46,41 +60,103 @@ class TestUnitarity:
         assert is_unitary(controlled(HADAMARD))
 
     def test_non_unitary_detected(self):
-        assert not is_unitary(np.array([[1, 0], [0, 2]], dtype=complex))
-        assert not is_unitary(np.ones((2, 3)))
+        assert not is_unitary([[1, 0], [0, 2]])
+        assert not is_unitary([[1, 1, 1], [1, 1, 1]])
 
 
 class TestAlgebra:
     def test_pauli_squares_are_identity(self):
         for gate in (PAULI_X, PAULI_Y, PAULI_Z):
-            assert np.allclose(gate @ gate, IDENTITY)
+            assert_matrix_close(gate @ gate, IDENTITY)
 
     def test_hadamard_involution(self):
-        assert np.allclose(HADAMARD @ HADAMARD, IDENTITY)
+        assert_matrix_close(HADAMARD @ HADAMARD, IDENTITY)
 
     def test_hxh_equals_z(self):
-        assert np.allclose(HADAMARD @ PAULI_X @ HADAMARD, PAULI_Z)
+        assert_matrix_close(HADAMARD @ PAULI_X @ HADAMARD, PAULI_Z)
 
     def test_s_squared_is_z(self):
-        assert np.allclose(S_GATE @ S_GATE, PAULI_Z)
+        assert_matrix_close(S_GATE @ S_GATE, PAULI_Z)
 
     def test_t_squared_is_s(self):
-        assert np.allclose(T_GATE @ T_GATE, S_GATE)
+        assert_matrix_close(T_GATE @ T_GATE, S_GATE)
 
     def test_phase_gate_pi_is_z(self):
-        assert np.allclose(phase_gate(math.pi), PAULI_Z)
+        assert_matrix_close(phase_gate(math.pi), PAULI_Z)
 
     def test_rotation_y_pi_maps_zero_to_one(self):
-        state = rotation_y(math.pi) @ np.array([1, 0], dtype=complex)
+        state = rotation_y(math.pi) @ (1, 0)
         assert abs(abs(state[1]) - 1) < 1e-10
 
     def test_controlled_x_is_cnot(self):
         cnot = controlled(PAULI_X)
         # |10> -> |11>, |11> -> |10>, |00>/|01> unchanged.
-        assert np.allclose(cnot @ np.eye(4)[2], np.eye(4)[3])
-        assert np.allclose(cnot @ np.eye(4)[3], np.eye(4)[2])
-        assert np.allclose(cnot @ np.eye(4)[0], np.eye(4)[0])
+        assert_matrix_close([cnot @ basis4(2)], [basis4(3)])
+        assert_matrix_close([cnot @ basis4(3)], [basis4(2)])
+        assert_matrix_close([cnot @ basis4(0)], [basis4(0)])
 
     def test_controlled_requires_2x2(self):
+        eye4 = [[1 if i == j else 0 for j in range(4)] for i in range(4)]
         with pytest.raises(ValueError):
-            controlled(np.eye(4))
+            controlled(eye4)
+
+
+class TestGateMatrix:
+    def test_shape_and_indexing(self):
+        assert HADAMARD.shape == (2, 2)
+        assert len(HADAMARD) == 2
+        assert HADAMARD[0][0] == pytest.approx(1 / math.sqrt(2))
+        assert list(iter(IDENTITY)) == [(1, 0), (0, 1)]
+
+    def test_equality_and_hash(self):
+        assert GateMatrix([[1, 0], [0, 1]]) == IDENTITY
+        assert hash(GateMatrix([[1, 0], [0, 1]])) == hash(IDENTITY)
+        assert GateMatrix([[1, 0], [0, -1]]) != IDENTITY
+
+    def test_conjugate_transpose(self):
+        assert_matrix_close(PAULI_Y.conjugate_transpose(), PAULI_Y)
+        assert_matrix_close(
+            S_GATE @ S_GATE.conjugate_transpose(), IDENTITY
+        )
+
+    def test_rmatmul_with_plain_rows(self):
+        product = [[0, 1], [1, 0]] @ PAULI_X
+        assert_matrix_close(product, IDENTITY)
+
+    def test_matrix_rows_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            matrix_rows([[1, 0], [1]])
+
+    def test_matrix_rows_rejects_scalars(self):
+        with pytest.raises(TypeError):
+            matrix_rows(3)
+
+    def test_matmul_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            HADAMARD @ (1, 0, 0)
+        with pytest.raises(ValueError):
+            HADAMARD @ [[1, 0], [0, 1], [0, 0]]
+
+
+class TestNumpyInterop:
+    """GateMatrix must interoperate with NumPy when it happens to be present."""
+
+    def test_asarray_roundtrip(self):
+        np = pytest.importorskip("numpy", exc_type=ImportError)
+        array = np.asarray(HADAMARD)
+        assert array.shape == (2, 2)
+        assert np.allclose(array @ array, np.eye(2))
+
+    def test_allclose_against_gate(self):
+        np = pytest.importorskip("numpy", exc_type=ImportError)
+        assert np.allclose(np.asarray(HADAMARD @ HADAMARD), np.eye(2))
+
+    def test_matmul_numpy_vector(self):
+        np = pytest.importorskip("numpy", exc_type=ImportError)
+        state = rotation_y(math.pi) @ np.array([1, 0], dtype=complex)
+        assert abs(abs(state[1]) - 1) < 1e-10
+
+    def test_numpy_matrix_input(self):
+        np = pytest.importorskip("numpy", exc_type=ImportError)
+        assert is_unitary(np.eye(2))
+        assert_matrix_close(GateMatrix(np.eye(2)), IDENTITY)

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.quantum import (
@@ -96,32 +95,51 @@ class TestGroverSearch:
         with pytest.raises(ValueError):
             grover_search(0, lambda x: True)
 
+    def test_predicate_evaluated_once_per_basis_state(self):
+        calls = []
+
+        def oracle(x):
+            calls.append(x)
+            return x == 9
+
+        result = grover_search(64, oracle)
+        assert result.oracle_queries > 1
+        # The marked mask is built once up front: one predicate call per
+        # domain element, regardless of the number of Grover iterations.
+        assert len(calls) == 64
+        assert sorted(set(calls)) == list(range(64))
+
 
 class TestGroverSearchUnknownCount:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
     def test_finds_marked_element(self, seed):
-        rng = np.random.default_rng(seed)
         marked = {3, 17, 29}
-        result = grover_search_unknown(32, lambda x: x in marked, rng=rng)
+        result = grover_search_unknown(32, lambda x: x in marked, rng=seed)
         assert result.is_marked
         assert result.outcome in marked
 
     def test_no_marked_element_gives_up(self):
-        rng = np.random.default_rng(1)
-        result = grover_search_unknown(16, lambda x: False, rng=rng)
+        result = grover_search_unknown(16, lambda x: False, rng=1)
         assert not result.is_marked
         assert result.oracle_queries <= 9 * math.sqrt(16) + 30
 
     def test_query_budget_scales_with_sqrt(self):
-        rng = np.random.default_rng(2)
-        queries = []
         for domain in (16, 256):
-            result = grover_search_unknown(domain, lambda x: x == 1, rng=rng)
-            queries.append(result.oracle_queries)
-        assert queries[1] <= 30 * math.sqrt(256)
+            result = grover_search_unknown(domain, lambda x: x == 1, rng=2)
+            assert result.oracle_queries <= 30 * math.sqrt(domain)
 
     def test_many_marked_cheap(self):
-        rng = np.random.default_rng(3)
-        result = grover_search_unknown(64, lambda x: x % 2 == 0, rng=rng)
+        result = grover_search_unknown(64, lambda x: x % 2 == 0, rng=3)
         assert result.is_marked
         assert result.oracle_queries <= 20
+
+    def test_predicate_evaluated_once_per_basis_state(self):
+        calls = []
+
+        def oracle(x):
+            calls.append(x)
+            return x in (3, 17)
+
+        result = grover_search_unknown(32, oracle, rng=0)
+        assert result.is_marked
+        assert len(calls) == 32

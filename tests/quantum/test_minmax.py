@@ -3,60 +3,99 @@
 from __future__ import annotations
 
 import math
+import random
 
-import numpy as np
 import pytest
 
-from repro.quantum import expected_minmax_queries, quantum_maximum, quantum_minimum
+from repro.quantum import (
+    available_backends,
+    expected_minmax_queries,
+    force_backend,
+    quantum_maximum,
+    quantum_minimum,
+)
+
+
+def random_values(seed, size, bound=1000):
+    rng = random.Random(seed)
+    return [rng.randrange(bound) for _ in range(size)]
 
 
 class TestQuantumMinimum:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
     def test_finds_true_minimum(self, seed):
-        rng = np.random.default_rng(seed)
-        values = list(rng.integers(0, 1000, size=40))
-        result = quantum_minimum(values, rng=rng)
+        values = random_values(seed, 40)
+        result = quantum_minimum(values, rng=seed)
         assert result.value == min(values)
         assert result.is_exact
 
     def test_single_element(self):
-        result = quantum_minimum([7], rng=np.random.default_rng(0))
+        result = quantum_minimum([7], rng=0)
         assert result.index == 0
         assert result.value == 7
 
     def test_duplicate_minimum(self):
         values = [5, 2, 9, 2, 7]
-        result = quantum_minimum(values, rng=np.random.default_rng(1))
+        result = quantum_minimum(values, rng=1)
         assert result.value == 2
         assert values[result.index] == 2
 
     def test_empty_domain_rejected(self):
         with pytest.raises(ValueError):
-            quantum_minimum([], rng=np.random.default_rng(0))
+            quantum_minimum([], rng=0)
 
     def test_query_count_reported(self):
-        result = quantum_minimum(list(range(32)), rng=np.random.default_rng(2))
+        result = quantum_minimum(list(range(32)), rng=2)
         assert result.oracle_queries > 0
 
 
 class TestQuantumMaximum:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
     def test_finds_true_maximum(self, seed):
-        rng = np.random.default_rng(seed)
-        values = list(rng.integers(0, 1000, size=40))
-        result = quantum_maximum(values, rng=rng)
+        values = random_values(seed, 40)
+        result = quantum_maximum(values, rng=seed)
         assert result.value == max(values)
         assert result.is_exact
 
     def test_constant_values(self):
-        result = quantum_maximum([4, 4, 4, 4], rng=np.random.default_rng(0))
+        result = quantum_maximum([4, 4, 4, 4], rng=0)
         assert result.value == 4
 
     def test_threshold_updates_monotone_progress(self):
-        rng = np.random.default_rng(3)
         values = list(range(64))
-        result = quantum_maximum(values, rng=rng)
+        result = quantum_maximum(values, rng=3)
         assert result.threshold_updates >= 1
+
+
+class TestBatchedRepetitions:
+    """The log(1/δ) repetitions run in lockstep on one amplitude matrix;
+    batching must not change any observable versus independent runs."""
+
+    def test_batched_equals_sum_of_single_runs_queries(self):
+        values = random_values(11, 60)
+        batched = quantum_maximum(values, rng=5, repetitions=4)
+        assert batched.oracle_queries > 0
+        assert batched.threshold_updates >= 1
+        # Repetitions only add queries, never change the best value found
+        # by the winning run for the same outer seed.
+        single = quantum_maximum(values, rng=5, repetitions=1)
+        assert batched.oracle_queries > single.oracle_queries
+
+    @pytest.mark.parametrize("repetitions", [1, 2, 5])
+    def test_backends_agree_for_any_batch_width(self, repetitions):
+        values = random_values(13, 48)
+        results = []
+        for name in available_backends():
+            with force_backend(name):
+                results.append(
+                    quantum_maximum(values, rng=7, repetitions=repetitions)
+                )
+        first = results[0]
+        for other in results[1:]:
+            assert other.index == first.index
+            assert other.value == first.value
+            assert other.oracle_queries == first.oracle_queries
+            assert other.threshold_updates == first.threshold_updates
 
 
 class TestQueryScaling:
@@ -73,10 +112,9 @@ class TestQueryScaling:
 
     def test_measured_queries_sublinear(self):
         """Measured query counts stay well below the domain size for large domains."""
-        rng = np.random.default_rng(4)
         domain = 400
-        values = list(rng.integers(0, 10**6, size=domain))
-        result = quantum_maximum(values, rng=np.random.default_rng(4), repetitions=1)
+        values = random_values(4, domain, bound=10**6)
+        result = quantum_maximum(values, rng=4, repetitions=1)
         assert result.oracle_queries < domain
         # The per-run budget is ~9*sqrt(N); one extra threshold search may be
         # in flight when the budget check triggers, hence the factor 2.
@@ -85,10 +123,10 @@ class TestQueryScaling:
     def test_queries_grow_sublinearly_with_domain(self):
         """Quadrupling the domain should far less than quadruple the queries."""
         def measured(domain, seed):
-            values = list(np.random.default_rng(seed).permutation(domain))
+            values = list(range(domain))
+            random.Random(seed).shuffle(values)
             runs = [
-                quantum_maximum(values, rng=np.random.default_rng(s), repetitions=1)
-                for s in range(5)
+                quantum_maximum(values, rng=s, repetitions=1) for s in range(5)
             ]
             return sum(run.oracle_queries for run in runs) / len(runs)
 

@@ -1,27 +1,37 @@
-"""Property-based tests for the quantum search substrate."""
+"""Property-based tests for the quantum search substrate.
+
+Every algebraic property is checked on *every registered backend* (via
+:func:`force_backend`), so the pure-Python tier and the NumPy tier are held
+to the same identities: the phase oracle is an involution, diffusion is
+norm-preserving, and amplitude amplification follows the exact
+``sin^2((2t+1) theta)`` law.
+"""
 
 from __future__ import annotations
 
+import math
 
-import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.quantum import (
     StateVector,
     amplitude_amplification_success_probability,
+    available_backends,
+    force_backend,
     grover_search,
     quantum_maximum,
     quantum_minimum,
 )
 
+BACKENDS = available_backends()
 
-@given(
-    st.integers(min_value=2, max_value=64),
-    st.data(),
-)
-@settings(max_examples=40, deadline=None)
-def test_grover_success_probability_matches_formula(domain_size, data):
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(st.integers(min_value=2, max_value=64), st.data())
+@settings(max_examples=25, deadline=None)
+def test_grover_success_probability_matches_formula(backend, domain_size, data):
     """The simulated success probability equals sin^2((2t+1) theta) exactly."""
     num_marked = data.draw(st.integers(min_value=1, max_value=domain_size))
     marked = set(
@@ -34,7 +44,10 @@ def test_grover_success_probability_matches_formula(domain_size, data):
             )
         )
     )
-    result = grover_search(domain_size, lambda x: x in marked, num_marked=len(marked))
+    with force_backend(backend):
+        result = grover_search(
+            domain_size, lambda x: x in marked, num_marked=len(marked)
+        )
     predicted = amplitude_amplification_success_probability(
         domain_size, len(marked), result.iterations
     )
@@ -42,27 +55,76 @@ def test_grover_success_probability_matches_formula(domain_size, data):
     assert result.success_probability >= 0.49  # optimal iteration count is good
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(st.integers(min_value=1, max_value=6))
 @settings(max_examples=10, deadline=None)
-def test_uniform_superposition_probabilities(num_qubits):
-    state = StateVector(num_qubits).apply_hadamard_all()
-    probabilities = state.probabilities()
-    assert np.allclose(probabilities, 1 / 2**num_qubits)
+def test_uniform_superposition_probabilities(backend, num_qubits):
+    with force_backend(backend):
+        state = StateVector(num_qubits).apply_hadamard_all()
+    uniform = 1 / 2**num_qubits
+    assert all(abs(p - uniform) < 1e-10 for p in state.probabilities())
     assert abs(state.norm() - 1) < 1e-10
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.lists(st.booleans(), min_size=1, max_size=32),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_phase_oracle_is_an_involution(backend, num_qubits, flags, seed):
+    """Applying the same phase mask twice restores the state exactly."""
+    dim = 2**num_qubits
+    mask = (flags * ((dim // len(flags)) + 1))[:dim]
+    with force_backend(backend):
+        state = StateVector(num_qubits, rng=seed).apply_hadamard_all()
+        before = state.amplitudes
+        state.apply_phase_mask(mask)
+        state.apply_phase_mask(mask)
+        after = state.amplitudes
+    assert all(abs(a - b) < 1e-12 for a, b in zip(before, after))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_diffusion_preserves_norm(backend, num_qubits, data):
+    """Diffusion is a reflection, hence unitary: the norm never drifts."""
+    dim = 2**num_qubits
+    raw = data.draw(
+        st.lists(
+            st.floats(min_value=-1, max_value=1, allow_nan=False),
+            min_size=dim,
+            max_size=dim,
+        )
+    )
+    if all(abs(value) < 1e-6 for value in raw):
+        raw[0] = 1.0
+    domain_size = data.draw(st.integers(min_value=1, max_value=dim))
+    with force_backend(backend):
+        state = StateVector(num_qubits).set_amplitudes(raw)
+        state.apply_diffusion(domain_size)
+        norm = state.norm()
+    assert abs(norm - 1.0) < 1e-9
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(
     st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=60),
     st.integers(min_value=0, max_value=2**31 - 1),
 )
-@settings(max_examples=40, deadline=None)
-def test_quantum_extrema_bracket_true_extrema(values, seed):
+@settings(max_examples=25, deadline=None)
+def test_quantum_extrema_bracket_true_extrema(backend, values, seed):
     """The reported extremum is always an actual element and never better than
     the true optimum (it can only be equal or -- with small probability --
     strictly inside the range)."""
-    rng = np.random.default_rng(seed)
-    maximum = quantum_maximum(values, rng=rng)
-    minimum = quantum_minimum(values, rng=rng)
+    with force_backend(backend):
+        maximum = quantum_maximum(values, rng=seed)
+        minimum = quantum_minimum(values, rng=seed)
     assert maximum.value in values
     assert minimum.value in values
     assert maximum.value <= max(values)
@@ -83,3 +145,19 @@ def test_success_probability_formula_bounds(num_marked, iterations):
     # Zero iterations gives exactly the uniform-measurement baseline.
     baseline = amplitude_amplification_success_probability(domain, num_marked, 0)
     assert abs(baseline - num_marked / domain) < 1e-9
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(
+    st.integers(min_value=2, max_value=48),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_sin_squared_law_single_marked(backend, domain_size, seed):
+    """For one marked element the state follows the sin^2 law at every step."""
+    theta = math.asin(math.sqrt(1 / domain_size))
+    marked = seed % domain_size
+    with force_backend(backend):
+        result = grover_search(domain_size, lambda x: x == marked, num_marked=1)
+    expected = math.sin((2 * result.iterations + 1) * theta) ** 2
+    assert abs(result.success_probability - expected) < 1e-9

@@ -4,11 +4,20 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.quantum import HADAMARD, PAULI_X, StateVector, sample_counts
 from repro.quantum.gates import PAULI_Z
+
+
+def assert_allclose(actual, expected, tol=1e-9):
+    """Elementwise closeness for sequences (``expected`` may be a scalar)."""
+    actual = list(actual)
+    if not hasattr(expected, "__len__"):
+        expected = [expected] * len(actual)
+    assert len(actual) == len(expected)
+    for left, right in zip(actual, expected):
+        assert abs(complex(left) - complex(right)) < tol
 
 
 class TestConstruction:
@@ -47,6 +56,12 @@ class TestConstruction:
         with pytest.raises(ValueError):
             state.set_amplitudes([0, 0, 0, 0])
 
+    def test_amplitudes_are_plain_lists(self):
+        state = StateVector(2).apply_hadamard_all()
+        assert isinstance(state.amplitudes, list)
+        assert isinstance(state.probabilities(), list)
+        assert all(isinstance(a, complex) for a in state.amplitudes)
+
 
 class TestGates:
     def test_hadamard_creates_uniform(self):
@@ -67,8 +82,7 @@ class TestGates:
 
     def test_hadamard_all(self):
         state = StateVector(3).apply_hadamard_all()
-        probabilities = state.probabilities()
-        assert np.allclose(probabilities, 1 / 8)
+        assert_allclose(state.probabilities(), 1 / 8)
 
     def test_invalid_qubit_index(self):
         state = StateVector(2)
@@ -77,8 +91,9 @@ class TestGates:
 
     def test_invalid_gate_shape(self):
         state = StateVector(2)
+        eye4 = [[1 if i == j else 0 for j in range(4)] for i in range(4)]
         with pytest.raises(ValueError):
-            state.apply_single_qubit_gate(np.eye(4), 0)
+            state.apply_single_qubit_gate(eye4, 0)
 
     def test_apply_full_unitary(self):
         state = StateVector(1)
@@ -96,6 +111,13 @@ class TestGates:
         assert amplitudes[2].real < 0
         assert amplitudes[0].real > 0
 
+    def test_phase_mask_matches_oracle(self):
+        by_oracle = StateVector(2).prepare_uniform()
+        by_oracle.apply_phase_oracle(lambda x: x in (1, 2))
+        by_mask = StateVector(2).prepare_uniform()
+        by_mask.apply_phase_mask([False, True, True, False])
+        assert_allclose(by_mask.amplitudes, by_oracle.amplitudes)
+
     def test_gates_preserve_norm(self):
         state = StateVector(3).apply_hadamard_all()
         state.apply_phase_oracle(lambda x: x % 3 == 0)
@@ -107,8 +129,8 @@ class TestUniformAndDiffusion:
     def test_prepare_uniform_partial_domain(self):
         state = StateVector(3).prepare_uniform(5)
         probabilities = state.probabilities()
-        assert np.allclose(probabilities[:5], 1 / 5)
-        assert np.allclose(probabilities[5:], 0)
+        assert_allclose(probabilities[:5], 1 / 5)
+        assert_allclose(probabilities[5:], 0)
 
     def test_prepare_uniform_validation(self):
         with pytest.raises(ValueError):
@@ -118,10 +140,9 @@ class TestUniformAndDiffusion:
         state = StateVector(2)
         state.set_amplitudes([0.9, 0.1, 0.3, math.sqrt(1 - 0.9**2 - 0.1**2 - 0.3**2)])
         before = state.amplitudes
-        mean = before.mean()
+        mean = sum(before) / len(before)
         state.apply_diffusion()
-        after = state.amplitudes
-        assert np.allclose(after, 2 * mean - before)
+        assert_allclose(state.amplitudes, [2 * mean - value for value in before])
 
     def test_single_grover_iteration_amplifies_marked(self):
         state = StateVector(3).prepare_uniform()
@@ -138,14 +159,12 @@ class TestMeasurement:
         assert state.measure() == 3
 
     def test_measure_collapses(self):
-        rng = np.random.default_rng(5)
-        state = StateVector(2, rng=rng).apply_hadamard_all()
+        state = StateVector(2, rng=5).apply_hadamard_all()
         outcome = state.measure()
         assert state.probability(outcome) == pytest.approx(1.0)
 
     def test_sampling_distribution_roughly_uniform(self):
-        rng = np.random.default_rng(11)
-        state = StateVector(2, rng=rng).apply_hadamard_all()
+        state = StateVector(2, rng=11).apply_hadamard_all()
         counts = sample_counts(state, shots=4000)
         assert set(counts) == {0, 1, 2, 3}
         assert all(800 < count < 1200 for count in counts.values())
@@ -153,10 +172,25 @@ class TestMeasurement:
     def test_sample_does_not_collapse(self):
         state = StateVector(2).apply_hadamard_all()
         state.sample(10)
-        assert np.allclose(state.probabilities(), 1 / 4)
+        assert_allclose(state.probabilities(), 1 / 4)
 
     def test_copy_independent(self):
         state = StateVector(2).apply_hadamard_all()
         clone = state.copy()
         clone.reset(0)
-        assert np.allclose(state.probabilities(), 1 / 4)
+        assert_allclose(state.probabilities(), 1 / 4)
+
+    def test_copy_rng_stream_is_independent(self):
+        # Two identically seeded registers, each forked once; draining one
+        # clone's stream must not perturb its original.
+        state_a = StateVector(3, rng=9).apply_hadamard_all()
+        state_b = StateVector(3, rng=9).apply_hadamard_all()
+        clone_a = state_a.copy()
+        state_b.copy().sample(100)
+        clone_a.sample(100)
+        assert state_a.sample(20) == state_b.sample(20)
+
+    def test_copy_same_seed_gives_same_fork(self):
+        state_a = StateVector(2, rng=4).apply_hadamard_all()
+        state_b = StateVector(2, rng=4).apply_hadamard_all()
+        assert state_a.copy().sample(20) == state_b.copy().sample(20)

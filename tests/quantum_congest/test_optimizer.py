@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.congest import RoundReport
@@ -27,7 +26,7 @@ def _optimizer(mode=SearchMode.AUTO, delta=0.1, seed=0, costs=None):
     return DistributedQuantumOptimizer(
         costs or _costs(),
         delta=delta,
-        rng=np.random.default_rng(seed),
+        rng=seed,
         mode=mode,
     )
 
@@ -164,9 +163,7 @@ class TestDeferredCosts:
     """
 
     def test_finalize_costs_supplies_the_charge(self):
-        optimizer = DistributedQuantumOptimizer(
-            None, delta=0.1, rng=np.random.default_rng(0)
-        )
+        optimizer = DistributedQuantumOptimizer(None, delta=0.1, rng=0)
         finalized = []
 
         def finalize(element):
@@ -194,7 +191,7 @@ class TestDeferredCosts:
             list(range(30)), [5, 6, 7], lambda x: float(x)
         )
         deferred = DistributedQuantumOptimizer(
-            None, delta=0.1, rng=np.random.default_rng(7)
+            None, delta=0.1, rng=7
         ).search_with_promise(
             list(range(30)), [5, 6, 7], lambda x: float(x),
             finalize_costs=lambda element: _costs(),
@@ -205,16 +202,36 @@ class TestDeferredCosts:
         assert deferred.charge.total_rounds == eager.charge.total_rounds
 
     def test_missing_costs_rejected_without_finalizer(self):
-        optimizer = DistributedQuantumOptimizer(
-            None, delta=0.1, rng=np.random.default_rng(0)
-        )
+        optimizer = DistributedQuantumOptimizer(None, delta=0.1, rng=0)
         with pytest.raises(ValueError, match="without procedure costs"):
             optimizer.search_with_promise(list(range(5)), [1], lambda x: float(x))
 
     def test_missing_costs_rejected_for_plain_search(self):
-        optimizer = DistributedQuantumOptimizer(
-            None, delta=0.1, rng=np.random.default_rng(0)
-        )
+        optimizer = DistributedQuantumOptimizer(None, delta=0.1, rng=0)
         with pytest.raises(ValueError, match="without procedure costs"):
             optimizer.maximize([1, 2, 3], lambda x: float(x))
         assert optimizer.costs is None
+
+
+class TestPromisedSearchScaling:
+    def test_large_promised_search_is_fast(self):
+        """A 5k-element promised search must stay sub-second.
+
+        ``search_with_promise`` used to rebuild ``set(domain)`` for every
+        element of the good set (and once more for the ``succeeded`` check),
+        which made the filter quadratic in the domain size.  The sets are now
+        hoisted out of the loops; this pins the linear behaviour.
+        """
+        import time
+
+        domain = list(range(5000))
+        good = list(range(0, 5000, 2))
+        optimizer = DistributedQuantumOptimizer(
+            _costs(), delta=0.1, rng=0, mode=SearchMode.QUERY_MODEL
+        )
+        start = time.perf_counter()
+        outcome = optimizer.search_with_promise(domain, good, lambda x: float(x))
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+        assert outcome.element in set(domain)
+        assert outcome.invocations >= 1
