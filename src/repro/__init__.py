@@ -23,6 +23,11 @@ The library is organised in layers (see DESIGN.md):
   ``Omega~(n^{2/3})`` reduction (Theorems 4.2 and 4.8).
 * :mod:`repro.analysis` -- complexity formulas, scaling fits and the
   renderers that regenerate Table 1/2 and the figures.
+* :mod:`repro.runtime` -- the unified run-configuration entry point
+  (``configure(engine=..., backend=..., shards=..., workers=...)``).
+* :mod:`repro.service` -- simulation-as-a-service: ``RunSpec`` batch jobs
+  over a thread pool, a content-addressed result cache, and
+  Prometheus-text metrics (``python -m repro.service``).
 
 Quickstart
 ----------
@@ -40,6 +45,7 @@ from repro._version import __version__
 
 __all__ = [
     "__version__",
+    "configure",
     "quantum_weighted_diameter",
     "quantum_weighted_radius",
 ]
@@ -56,4 +62,8 @@ def __getattr__(name):
         from repro.core import diameter_radius
 
         return getattr(diameter_radius, name)
+    if name == "configure":
+        from repro.runtime import configure
+
+        return configure
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -20,7 +20,84 @@ __all__ = [
     "ShardRoundCharges",
     "SimulationResult",
     "RoundLimitExceeded",
+    "encode_result_value",
+    "decode_result_value",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# Value codec for result serialization.
+#
+# Protocol outputs are plain Python values (ints, floats including ``inf``,
+# strings, tuples, lists, dicts keyed by node ids), but JSON cannot carry
+# them faithfully: object keys must be strings, ``Infinity`` is not valid
+# JSON, arrays erase the list/tuple distinction.  The codec below wraps the
+# ambiguous cases in small tagged objects so that
+# ``decode(json.loads(json.dumps(encode(v)))) == v`` holds *bit-identically*
+# -- the contract the service-layer result cache relies on.
+# --------------------------------------------------------------------------- #
+
+_TAG = "__repro__"
+
+
+def encode_result_value(value: Any, path: str = "$") -> Any:
+    """Encode ``value`` into JSON-safe structures (see module comment)."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        # repr round-trips every finite float exactly; float("inf") /
+        # float("-inf") / float("nan") cover the non-finite reprs.
+        return {_TAG: "float", "v": repr(value)}
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "v": [encode_result_value(x, f"{path}[{i}]") for i, x in enumerate(value)]}
+    if isinstance(value, list):
+        return [encode_result_value(x, f"{path}[{i}]") for i, x in enumerate(value)]
+    if isinstance(value, dict):
+        return {
+            _TAG: "dict",
+            "v": [
+                [encode_result_value(k, f"{path}.key"), encode_result_value(v, f"{path}[{k!r}]")]
+                for k, v in value.items()
+            ],
+        }
+    if isinstance(value, frozenset):
+        return {_TAG: "frozenset", "v": sorted((encode_result_value(x, path) for x in value), key=repr)}
+    if isinstance(value, set):
+        return {_TAG: "set", "v": sorted((encode_result_value(x, path) for x in value), key=repr)}
+    raise TypeError(
+        f"cannot serialize {type(value).__name__} at {path}: simulation "
+        f"results must be built from None/bool/int/float/str/tuple/list/"
+        f"dict/set values to round-trip through the result cache"
+    )
+
+
+def decode_result_value(payload: Any) -> Any:
+    """Inverse of :func:`encode_result_value`."""
+    if payload is None or isinstance(payload, (bool, int, str)):
+        return payload
+    if isinstance(payload, float):  # pragma: no cover - floats arrive tagged
+        return payload
+    if isinstance(payload, list):
+        return [decode_result_value(x) for x in payload]
+    if isinstance(payload, dict):
+        tag = payload.get(_TAG)
+        if tag == "float":
+            return float(payload["v"])
+        if tag == "tuple":
+            return tuple(decode_result_value(x) for x in payload["v"])
+        if tag == "dict":
+            return {
+                decode_result_value(k): decode_result_value(v)
+                for k, v in payload["v"]
+            }
+        if tag == "set":
+            return {decode_result_value(x) for x in payload["v"]}
+        if tag == "frozenset":
+            return frozenset(decode_result_value(x) for x in payload["v"])
+        raise ValueError(f"unknown serialization tag {tag!r}")
+    raise ValueError(f"cannot decode serialized payload of type {type(payload).__name__}")
 
 
 def _values_equal(a: Any, b: Any) -> bool:
@@ -107,6 +184,35 @@ class RoundReport:
         for report in reports:
             combined = combined.merge_sequential(report)
         return combined
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-safe dict that :meth:`from_json` restores bit-identically."""
+        return {
+            "rounds": self.rounds,
+            "congested_rounds": self.congested_rounds,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "protocol": self.protocol,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "RoundReport":
+        """Restore a report produced by :meth:`to_json`."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"RoundReport.from_json expects a dict, got {type(payload).__name__}"
+            )
+        fields = {}
+        for name in ("rounds", "congested_rounds", "total_messages", "total_bits", "max_message_bits"):
+            value = payload.get(name, 0)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"RoundReport field {name!r} must be an int, got {value!r}")
+            fields[name] = value
+        protocol = payload.get("protocol", "")
+        if not isinstance(protocol, str):
+            raise ValueError(f"RoundReport field 'protocol' must be a str, got {protocol!r}")
+        return cls(protocol=protocol, **fields)
 
 
 @dataclass(frozen=True)
@@ -246,3 +352,32 @@ class SimulationResult:
                 f"nodes disagree on the output ({len(distinct)} distinct values)"
             )
         return distinct[0]
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-safe dict that :meth:`from_json` restores bit-identically.
+
+        Only ``outputs`` and ``report`` are serialized: ``contexts`` hold
+        live :class:`NodeContext` objects (per-node memory plus simulator
+        plumbing) and intentionally do not round-trip -- a deserialized
+        result carries empty contexts.  The service layer therefore returns
+        context-free results on *every* path, cold or cached, so cache hits
+        are indistinguishable from fresh runs.
+        """
+        return {
+            "outputs": encode_result_value(self.outputs, "$.outputs"),
+            "report": self.report.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "SimulationResult":
+        """Restore a result produced by :meth:`to_json` (empty contexts)."""
+        if not isinstance(payload, dict) or "outputs" not in payload or "report" not in payload:
+            raise ValueError(
+                "SimulationResult.from_json expects a dict with 'outputs' and 'report'"
+            )
+        outputs = decode_result_value(payload["outputs"])
+        if not isinstance(outputs, dict):
+            raise ValueError(
+                f"serialized outputs must decode to a dict, got {type(outputs).__name__}"
+            )
+        return cls(outputs=outputs, report=RoundReport.from_json(payload["report"]))

@@ -10,6 +10,7 @@ for cross-checking against networkx in the test suite.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["WeightedGraph", "Edge"]
@@ -59,6 +60,8 @@ class WeightedGraph:
         #: Monotone mutation counter; :mod:`repro.kernels.csr` keys its frozen
         #: CSR snapshot cache on this so any mutation invalidates the snapshot.
         self._version: int = 0
+        #: Memoized ``(version, digest)`` pair backing :meth:`content_digest`.
+        self._digest_cache: Optional[Tuple[int, str]] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -156,6 +159,34 @@ class WeightedGraph:
             for v, w in neighbors.items():
                 if u <= v:
                     yield (u, v, w)
+
+    def content_digest(self) -> str:
+        """SHA-256 hex digest of the graph's canonical node/edge content.
+
+        The digest is computed over the *sorted* node list and the sorted
+        canonical edge list ``(u, v, w)`` with ``u <= v``, so two graphs that
+        compare equal under ``==`` (same node set, same edge set) share a
+        digest regardless of insertion order.  Node *labels* are part of the
+        content: an isomorphic graph with relabeled nodes hashes differently,
+        because protocol results (distances per node id, elected leader ids)
+        depend on the labels, not just the shape.  The service-layer result
+        cache (:mod:`repro.service.cache`) keys on this digest.
+
+        The digest is memoized on the mutation counter, so repeated calls on
+        an unmodified graph are O(1) and any mutation transparently
+        invalidates it.
+        """
+        if self._digest_cache is not None and self._digest_cache[0] == self._version:
+            return self._digest_cache[1]
+        hasher = hashlib.sha256()
+        hasher.update(b"repro.WeightedGraph.v1\n")
+        for node in sorted(self._adjacency):
+            hasher.update(b"n %d\n" % node)
+        for u, v, w in sorted(self.edges()):
+            hasher.update(b"e %d %d %d\n" % (u, v, w))
+        digest = hasher.hexdigest()
+        self._digest_cache = (self._version, digest)
+        return digest
 
     def max_weight(self) -> int:
         """Return the maximum edge weight (``0`` for an edgeless graph)."""

@@ -1,0 +1,152 @@
+"""Unified run configuration for every execution knob in one place.
+
+The library grew three independent selection mechanisms as the performance
+layers landed: the CONGEST engine registry (``REPRO_ENGINE`` /
+:func:`repro.congest.engine.force_engine`), the kernel *and* quantum backend
+registries (both on ``REPRO_BACKEND`` with their own ``force_backend``
+context managers), and the sharded engine's ``REPRO_SHARDS`` /
+``REPRO_SHARD_WORKERS`` environment knobs.  Composing them by hand means
+four nested context managers and two environment mutations with four
+restore paths.
+
+:class:`RunConfig` + :func:`configure` collapse that into one call with one
+restore path::
+
+    from repro.runtime import configure
+
+    with configure(engine="sharded", backend="python", shards=4, workers=2):
+        result = Simulator(network).run(protocol)
+
+Every knob is optional; ``None`` leaves the corresponding selection
+mechanism untouched (so an outer ``force_engine`` or an environment
+variable still applies).  Validation happens eagerly on entry, with errors
+naming the registered engines/backends, and all knobs are restored on exit
+even if an inner one fails to apply.  The service layer
+(:mod:`repro.service`) applies a :class:`RunSpec`'s execution knobs through
+exactly this path, so programmatic, environment and service-driven
+configuration cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["RunConfig", "configure"]
+
+#: Backend names the quantum registry can honour (``scipy`` resolves to
+#: ``numpy`` there); kernels validate the name against their own registry.
+_SHARD_ENV = "REPRO_SHARDS"
+_WORKER_ENV = "REPRO_SHARD_WORKERS"
+
+
+def _validate_count(name: str, value: Optional[int]) -> Optional[int]:
+    """Validate an optional positive-integer knob (shards/workers)."""
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ValueError(
+            f"invalid {name} value {value!r}: expected a positive integer or None"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One immutable bundle of execution knobs.
+
+    Attributes
+    ----------
+    engine:
+        CONGEST execution engine name (``sparse``/``dense``/``sharded``/
+        ``symbolic``/``legacy``) or ``None`` to leave selection alone.  The
+        forced engine is still subject to per-run eligibility and falls back
+        to ``sparse`` exactly like ``REPRO_ENGINE`` would.
+    backend:
+        Kernel *and* quantum backend name (``scipy``/``numpy``/``python``)
+        or ``None``.  The quantum registry resolves ``scipy`` to its
+        ``numpy`` tier, mirroring the shared ``REPRO_BACKEND`` semantics.
+    shards / workers:
+        Sharded-engine shard and worker counts, applied via the
+        ``REPRO_SHARDS`` / ``REPRO_SHARD_WORKERS`` environment knobs the
+        engine reads (and restored afterwards).
+    """
+
+    engine: Optional[str] = None
+    backend: Optional[str] = None
+    shards: Optional[int] = None
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _validate_count("shards", self.shards)
+        _validate_count("workers", self.workers)
+
+    def validate(self) -> "RunConfig":
+        """Eagerly resolve every named knob, raising with the registry lists."""
+        if self.engine is not None:
+            from repro.congest.engine.base import get_engine
+
+            get_engine(self.engine)
+        if self.backend is not None:
+            from repro.kernels.backend import get_backend as kernel_backend
+            from repro.quantum.backend import get_backend as quantum_backend
+
+            kernel_backend(self.backend)
+            quantum_backend(self.backend)
+        return self
+
+    @contextlib.contextmanager
+    def apply(self) -> Iterator["RunConfig"]:
+        """Apply every knob, undoing all of them through one exit path."""
+        self.validate()
+        with contextlib.ExitStack() as stack:
+            if self.engine is not None:
+                from repro.congest.engine.base import force_engine
+
+                stack.enter_context(force_engine(self.engine))
+            if self.backend is not None:
+                from repro.kernels.backend import force_backend as force_kernel
+                from repro.quantum.backend import force_backend as force_quantum
+
+                stack.enter_context(force_kernel(self.backend))
+                stack.enter_context(force_quantum(self.backend))
+            if self.shards is not None:
+                stack.enter_context(_env_override(_SHARD_ENV, str(self.shards)))
+            if self.workers is not None:
+                stack.enter_context(_env_override(_WORKER_ENV, str(self.workers)))
+            yield self
+
+
+@contextlib.contextmanager
+def _env_override(name: str, value: str) -> Iterator[None]:
+    """Set ``name=value`` in the environment, restoring the prior state."""
+    previous = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = previous
+
+
+def configure(
+    engine: Optional[str] = None,
+    backend: Optional[str] = None,
+    shards: Optional[int] = None,
+    workers: Optional[int] = None,
+):
+    """Context manager applying a :class:`RunConfig` in one call.
+
+    ``with configure(engine="dense", backend="numpy"): ...`` is the single
+    entry point replacing nested ``force_engine`` / ``force_backend``
+    (kernels and quantum) calls plus manual ``REPRO_SHARDS`` /
+    ``REPRO_SHARD_WORKERS`` environment juggling.  The old entry points all
+    keep working; this composes them.
+    """
+    return RunConfig(
+        engine=engine, backend=backend, shards=shards, workers=workers
+    ).apply()

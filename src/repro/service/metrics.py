@@ -1,0 +1,282 @@
+"""Dependency-free service metrics with Prometheus text exposition.
+
+The service layer needs operational visibility (how many jobs, how many
+cache hits, how slow) without pulling in ``prometheus_client``.  This module
+implements the minimal subset the exposition format needs -- counters and
+fixed-bucket histograms with optional labels -- plus
+:func:`MetricsRegistry.render_prometheus`, which emits the standard
+`text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a real
+scraper (or the tests) can parse the output directly.
+
+All mutation goes through one lock per registry, so worker threads of the
+:class:`~repro.service.jobs.SimulationService` executor can record freely.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+#: Default latency buckets (seconds): sub-millisecond cache hits through
+#: multi-minute simulation runs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.025,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    25.0,
+    100.0,
+)
+
+_LabelKey = Tuple[str, ...]
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers without a trailing ``.0``."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: Sequence[str], values: _LabelKey, extra: str = "") -> str:
+    pairs = [f'{n}="{v}"' for n, v in zip(names, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class Counter:
+    """A monotonically increasing counter, optionally labelled."""
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()) -> None:
+        self.name = _validate_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._values: Dict[_LabelKey, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Increase the counter (for the given label values) by ``amount``."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value for the given label values (0 if never incremented)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def _key(self, labels: Dict[str, str]) -> _LabelKey:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} counter",
+        ]
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.label_names:
+            items = [((), 0.0)]
+        for key, value in items:
+            labels = _format_labels(self.label_names, key)
+            lines.append(f"{self.name}{labels} {_format_value(value)}")
+        return lines
+
+    def snapshot(self) -> Dict[str, float]:
+        """Per-label-combination values keyed by a ``a=b,c=d`` string."""
+        with self._lock:
+            return {
+                ",".join(f"{n}={v}" for n, v in zip(self.label_names, key)): value
+                for key, value in sorted(self._values.items())
+            }
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        label_names: Sequence[str] = (),
+    ) -> None:
+        self.name = _validate_name(name)
+        self.help = help
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.label_names = tuple(label_names)
+        #: per label key: (per-bucket counts, total count, total sum)
+        self._series: Dict[_LabelKey, Tuple[List[int], int, float]] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation."""
+        key = self._key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            counts, count, total = self._series.get(
+                key, ([0] * len(self.buckets), 0, 0.0)
+            )
+            if index < len(counts):
+                counts[index] += 1
+            self._series[key] = (counts, count + 1, total + value)
+
+    def count(self, **labels: str) -> int:
+        """Number of observations for the given label values."""
+        return self._series.get(self._key(labels), ([], 0, 0.0))[1]
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observations for the given label values."""
+        return self._series.get(self._key(labels), ([], 0, 0.0))[2]
+
+    def _key(self, labels: Dict[str, str]) -> _LabelKey:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} histogram",
+        ]
+        with self._lock:
+            series = sorted(
+                (key, list(counts), count, total)
+                for key, (counts, count, total) in self._series.items()
+            )
+        for key, counts, count, total in series:
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative += bucket_count
+                labels = _format_labels(
+                    self.label_names, key, f'le="{_format_value(bound)}"'
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _format_labels(self.label_names, key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{labels} {count}")
+            plain = _format_labels(self.label_names, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(total)}")
+            lines.append(f"{self.name}_count{plain} {count}")
+        return lines
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-label-combination ``{"count": ..., "sum": ...}`` summaries."""
+        with self._lock:
+            return {
+                ",".join(f"{n}={v}" for n, v in zip(self.label_names, key)): {
+                    "count": count,
+                    "sum": total,
+                }
+                for key, (_counts, count, total) in sorted(self._series.items())
+            }
+
+
+class MetricsRegistry:
+    """An ordered collection of metrics with one exposition endpoint."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def counter(
+        self, name: str, help: str, label_names: Sequence[str] = ()
+    ) -> Counter:
+        """Get-or-create a :class:`Counter` registered under ``name``."""
+        return self._register(name, lambda: Counter(name, help, label_names), Counter)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        label_names: Sequence[str] = (),
+    ) -> Histogram:
+        """Get-or-create a :class:`Histogram` registered under ``name``."""
+        return self._register(
+            name, lambda: Histogram(name, help, buckets, label_names), Histogram
+        )
+
+    def _register(self, name, factory, expected_type):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, expected_type):
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def metrics(self) -> Iterable[object]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def render_prometheus(self) -> str:
+        """The whole registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot of every metric's current values."""
+        return {metric.name: metric.snapshot() for metric in self.metrics()}
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Parse exposition ``text`` back into ``{sample_name{labels}: value}``.
+
+    A deliberately small parser used by the tests (and handy for debugging):
+    it checks the line discipline of :meth:`MetricsRegistry.render_prometheus`
+    without needing a Prometheus client library.
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, raw = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"malformed exposition line {line!r}")
+        value = float("inf") if raw == "+Inf" else float(raw)
+        samples[name] = value
+    return samples
+
+
+#: Optional exports for tests and callers that want the parser.
+__all__.append("parse_exposition")
+__all__.append("DEFAULT_BUCKETS")

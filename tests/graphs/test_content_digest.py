@@ -1,0 +1,86 @@
+"""Tests for WeightedGraph.content_digest (the service-cache graph key)."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.graphs import WeightedGraph, path_graph, yao_spanner_graph
+
+
+class TestDigestStability:
+    def test_insertion_order_invariant(self):
+        a = WeightedGraph(edges=[(0, 1, 5), (1, 2, 7), (0, 2, 3)])
+        b = WeightedGraph()
+        b.add_edge(0, 2, 3)
+        b.add_edge(1, 2, 7)
+        b.add_edge(0, 1, 5)
+        assert a == b
+        assert a.content_digest() == b.content_digest()
+
+    def test_endpoint_order_invariant(self):
+        a = WeightedGraph(edges=[(0, 1, 5)])
+        b = WeightedGraph(edges=[(1, 0, 5)])
+        assert a.content_digest() == b.content_digest()
+
+    def test_deterministic_across_objects(self):
+        a = yao_spanner_graph(32, seed=7)
+        b = yao_spanner_graph(32, seed=7)
+        assert a is not b
+        assert a.content_digest() == b.content_digest()
+
+    def test_is_hex_sha256(self):
+        digest = path_graph(4).content_digest()
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0
+
+    def test_matches_documented_preimage(self):
+        graph = WeightedGraph(edges=[(0, 1, 5)])
+        expected = hashlib.sha256(
+            b"repro.WeightedGraph.v1\n" b"n 0\n" b"n 1\n" b"e 0 1 5\n"
+        ).hexdigest()
+        assert graph.content_digest() == expected
+
+
+class TestDigestSensitivity:
+    def test_mutation_invalidates(self):
+        graph = path_graph(6)
+        before = graph.content_digest()
+        graph.add_edge(0, 5, 9)
+        after = graph.content_digest()
+        assert before != after
+
+    def test_weight_change_invalidates(self):
+        graph = WeightedGraph(edges=[(0, 1, 5)])
+        before = graph.content_digest()
+        graph.add_edge(0, 1, 6)  # re-add updates the weight
+        assert graph.content_digest() != before
+
+    def test_isolated_node_counts_as_content(self):
+        a = WeightedGraph(edges=[(0, 1, 1)])
+        b = WeightedGraph(edges=[(0, 1, 1)], nodes=[7])
+        assert a.content_digest() != b.content_digest()
+
+    def test_relabeled_isomorphic_graphs_differ(self):
+        # Documented behavior: labels are content.  A relabeled isomorphic
+        # copy is a *different* cache key even though it is structurally the
+        # same graph -- the service does not canonicalize up to isomorphism.
+        a = WeightedGraph(edges=[(0, 1, 2), (1, 2, 3)])
+        b = WeightedGraph(edges=[(10, 11, 2), (11, 12, 3)])
+        assert a.content_digest() != b.content_digest()
+
+
+class TestDigestMemoization:
+    def test_memoized_between_mutations(self):
+        graph = path_graph(64)
+        first = graph.content_digest()
+        # Same version -> the cached string object is returned as-is.
+        assert graph.content_digest() is first
+
+    def test_recomputed_after_mutation(self):
+        graph = path_graph(8)
+        first = graph.content_digest()
+        graph.add_node(99)
+        second = graph.content_digest()
+        assert second != first
+        # And re-memoized at the new version.
+        assert graph.content_digest() is second

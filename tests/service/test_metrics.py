@@ -1,0 +1,134 @@
+"""Tests for the dependency-free metrics registry and exposition format."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+)
+
+pytestmark = pytest.mark.service
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("jobs_total", "help text")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_rejects_decrease(self):
+        counter = Counter("jobs_total", "h")
+        with pytest.raises(ValueError, match="increase"):
+            counter.inc(-1)
+
+    def test_labels(self):
+        counter = Counter("hits_total", "h", label_names=("engine",))
+        counter.inc(engine="sparse")
+        counter.inc(engine="sparse")
+        counter.inc(engine="dense")
+        assert counter.value(engine="sparse") == 2
+        assert counter.value(engine="dense") == 1
+        assert counter.total() == 3
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("hits_total", "h", label_names=("engine",))
+        with pytest.raises(ValueError, match="engine"):
+            counter.inc(backend="numpy")
+        with pytest.raises(ValueError, match="engine"):
+            counter.inc()
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="metric name"):
+            Counter("bad name!", "h")
+
+    def test_thread_safety(self):
+        counter = Counter("n", "h")
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == 4000
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        histogram = Histogram("lat", "h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(55.55)
+
+    def test_buckets_must_be_sorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("lat", "h", buckets=(1.0, 0.1))
+
+    def test_cumulative_bucket_rendering(self):
+        histogram = Histogram("lat", "h", buckets=(1.0, 10.0))
+        for value in (0.5, 0.6, 5.0, 500.0):
+            histogram.observe(value)
+        samples = parse_exposition("\n".join(histogram.render()))
+        assert samples['lat_bucket{le="1"}'] == 2
+        assert samples['lat_bucket{le="10"}'] == 3
+        assert samples['lat_bucket{le="+Inf"}'] == 4
+        assert samples["lat_count"] == 4
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus buckets are upper-inclusive: observe(1.0) counts in le=1.
+        histogram = Histogram("lat", "h", buckets=(1.0, 10.0))
+        histogram.observe(1.0)
+        samples = parse_exposition("\n".join(histogram.render()))
+        assert samples['lat_bucket{le="1"}'] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "h")
+        b = registry.counter("x_total", "ignored second help")
+        assert a is b
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "h")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x", "h")
+
+    def test_render_prometheus_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "first").inc(3)
+        hist = registry.histogram("b_seconds", "second", buckets=(0.5, 1.5))
+        hist.observe(1.0)
+        text = registry.render_prometheus()
+        assert text.endswith("\n")
+        assert "# HELP a_total first" in text
+        assert "# TYPE b_seconds histogram" in text
+        samples = parse_exposition(text)
+        assert samples["a_total"] == 3
+        assert samples["b_seconds_count"] == 1
+        assert samples['b_seconds_bucket{le="+Inf"}'] == 1
+
+    def test_zero_counter_still_exposed(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total", "never incremented")
+        samples = parse_exposition(registry.render_prometheus())
+        assert samples["quiet_total"] == 0
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a_total", "h", label_names=("engine",)).inc(engine="sparse")
+        registry.histogram("b_seconds", "h").observe(0.25)
+        assert json.loads(json.dumps(registry.snapshot()))

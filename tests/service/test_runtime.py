@@ -1,0 +1,110 @@
+"""Tests for repro.runtime: the unified configure() entry point."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime import RunConfig, configure
+
+pytestmark = pytest.mark.service
+
+
+class TestRunConfigValidation:
+    def test_default_is_all_none(self):
+        config = RunConfig()
+        assert (config.engine, config.backend, config.shards, config.workers) == (
+            None,
+            None,
+            None,
+            None,
+        )
+        config.validate()
+
+    def test_unknown_engine_names_registry(self):
+        with pytest.raises(ValueError) as excinfo:
+            RunConfig(engine="warp").validate()
+        message = str(excinfo.value)
+        assert "warp" in message and "sparse" in message and "sharded" in message
+
+    def test_unknown_backend_names_registry(self):
+        with pytest.raises(ValueError) as excinfo:
+            RunConfig(backend="tpu").validate()
+        message = str(excinfo.value)
+        assert "tpu" in message and "python" in message
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "4", True])
+    def test_bad_shards_rejected_at_construction(self, bad):
+        with pytest.raises(ValueError, match="shards"):
+            RunConfig(shards=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "4", True])
+    def test_bad_workers_rejected_at_construction(self, bad):
+        with pytest.raises(ValueError, match="workers"):
+            RunConfig(workers=bad)
+
+    def test_apply_validates_eagerly(self):
+        with pytest.raises(ValueError, match="warp"):
+            with RunConfig(engine="warp").apply():
+                raise AssertionError("the body must not run")
+
+
+class TestConfigureComposition:
+    def test_engine_knob_forces_selection(self):
+        from repro.congest.engine import base as engine_base
+
+        assert engine_base._FORCED is None
+        with configure(engine="symbolic"):
+            assert engine_base._FORCED == "symbolic"
+        assert engine_base._FORCED is None
+
+    def test_backend_knob_forces_both_registries(self):
+        from repro.kernels.backend import get_backend as kernel_backend
+        from repro.quantum.backend import get_backend as quantum_backend
+
+        with configure(backend="python"):
+            assert kernel_backend().name == "python"
+            assert quantum_backend().name == "python"
+
+    def test_shard_knobs_set_and_restore_env(self):
+        os.environ.pop("REPRO_SHARDS", None)
+        previous_workers = os.environ.get("REPRO_SHARD_WORKERS")
+        with configure(shards=3, workers=1):
+            assert os.environ["REPRO_SHARDS"] == "3"
+            assert os.environ["REPRO_SHARD_WORKERS"] == "1"
+        assert "REPRO_SHARDS" not in os.environ
+        assert os.environ.get("REPRO_SHARD_WORKERS") == previous_workers
+
+    def test_restores_preexisting_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "7")
+        with configure(shards=2):
+            assert os.environ["REPRO_SHARDS"] == "2"
+        assert os.environ["REPRO_SHARDS"] == "7"
+
+    def test_restores_after_body_raises(self):
+        os.environ.pop("REPRO_SHARDS", None)
+        with pytest.raises(RuntimeError):
+            with configure(engine="sparse", shards=5):
+                raise RuntimeError("boom")
+        assert "REPRO_SHARDS" not in os.environ
+        from repro.congest.engine import base as engine_base
+
+        assert engine_base._FORCED is None
+
+    def test_shards_drive_sharded_engine(self):
+        from repro.congest.engine.sharded import resolve_shard_count
+
+        with configure(shards=4):
+            assert resolve_shard_count(1000) == 4
+
+    def test_end_to_end_run_under_configure(self):
+        from repro.congest import Network, Simulator
+        from repro.congest.sssp import _BellmanFordAlgorithm
+        from repro.graphs import path_graph
+
+        with configure(engine="sparse", backend="python"):
+            result = Simulator(Network(path_graph(6))).run(
+                _BellmanFordAlgorithm([0]), halt_on_quiescence=True
+            )
+        assert result.report.rounds == 6
