@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-import numpy as np
+try:  # The no-NumPy tier falls back to the pure normal-equations solver.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+    np = None
 
 __all__ = ["PowerLawFit", "fit_power_law", "fit_two_parameter_power_law"]
 
@@ -66,19 +69,86 @@ def _validate(xs: Sequence[float], ys: Sequence[float]) -> None:
         raise ValueError("power-law fits need strictly positive data")
 
 
+def _solve_normal_equations(
+    design: Sequence[Sequence[float]], response: Sequence[float]
+) -> List[float]:
+    """OLS via the normal equations, in pure Python.
+
+    The fits here have 2-3 well-scaled unknowns (log-space power laws), so
+    Gaussian elimination with partial pivoting on ``X^T X b = X^T y`` is
+    numerically ample.  Only used when NumPy is unavailable.
+    """
+    num_coeffs = len(design[0])
+    ata = [
+        [
+            sum(row[i] * row[j] for row in design)
+            for j in range(num_coeffs)
+        ]
+        for i in range(num_coeffs)
+    ]
+    aty = [
+        sum(row[i] * y for row, y in zip(design, response)) for i in range(num_coeffs)
+    ]
+    # Forward elimination with partial pivoting on the augmented system.
+    for col in range(num_coeffs):
+        pivot = max(range(col, num_coeffs), key=lambda r: abs(ata[r][col]))
+        if abs(ata[pivot][col]) < 1e-12:
+            raise ValueError("singular design matrix: predictors are collinear")
+        if pivot != col:
+            ata[col], ata[pivot] = ata[pivot], ata[col]
+            aty[col], aty[pivot] = aty[pivot], aty[col]
+        for row in range(col + 1, num_coeffs):
+            factor = ata[row][col] / ata[col][col]
+            for k in range(col, num_coeffs):
+                ata[row][k] -= factor * ata[col][k]
+            aty[row] -= factor * aty[col]
+    solution = [0.0] * num_coeffs
+    for row in range(num_coeffs - 1, -1, -1):
+        acc = aty[row] - sum(
+            ata[row][k] * solution[k] for k in range(row + 1, num_coeffs)
+        )
+        solution[row] = acc / ata[row][row]
+    return solution
+
+
+def _log_least_squares(
+    predictor_columns: Sequence[Sequence[float]], ys: Sequence[float]
+) -> Tuple[List[float], float]:
+    """Fit ``log y = sum_i a_i log x_i + log c``; return coefficients + R².
+
+    ``predictor_columns`` are the raw (not yet logged) predictors; the
+    intercept column is appended here.  Uses ``numpy.linalg.lstsq`` when
+    NumPy is importable (the historical code path, bit-identical results)
+    and the pure normal-equations solver otherwise.
+    """
+    log_cols = [[math.log(x) for x in col] for col in predictor_columns]
+    log_y = [math.log(y) for y in ys]
+    design = [
+        [col[row] for col in log_cols] + [1.0] for row in range(len(log_y))
+    ]
+    if np is not None:
+        solution_arr, _, _, _ = np.linalg.lstsq(
+            np.asarray(design, dtype=float), np.asarray(log_y, dtype=float), rcond=None
+        )
+        solution = [float(value) for value in solution_arr]
+    else:
+        solution = _solve_normal_equations(design, log_y)
+    predicted = [
+        sum(value * coeff for value, coeff in zip(row, solution)) for row in design
+    ]
+    mean_y = sum(log_y) / len(log_y)
+    residual = sum((y - p) ** 2 for y, p in zip(log_y, predicted))
+    total = sum((y - mean_y) ** 2 for y in log_y)
+    r_squared = 1.0 if total < 1e-15 else 1.0 - residual / total
+    return solution, r_squared
+
+
 def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
     """Fit ``y ≈ c · x^a`` by least squares in log space."""
     _validate(xs, ys)
-    log_x = np.log(np.asarray(xs, dtype=float))
-    log_y = np.log(np.asarray(ys, dtype=float))
-    design = np.column_stack([log_x, np.ones_like(log_x)])
-    solution, _, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
-    predicted = design @ solution
-    residual = float(np.sum((log_y - predicted) ** 2))
-    total = float(np.sum((log_y - log_y.mean()) ** 2))
-    r_squared = 1.0 if total < 1e-15 else 1.0 - residual / total
+    solution, r_squared = _log_least_squares([xs], ys)
     return PowerLawFit(
-        exponents=(float(solution[0]),),
+        exponents=(solution[0],),
         constant=float(math.exp(solution[1])),
         r_squared=r_squared,
     )
@@ -96,17 +166,9 @@ def fit_two_parameter_power_law(
         raise ValueError("predictor and response lengths differ")
     _validate(ns, ys)
     _validate(ds, ys)
-    log_n = np.log(np.asarray(ns, dtype=float))
-    log_d = np.log(np.asarray(ds, dtype=float))
-    log_y = np.log(np.asarray(ys, dtype=float))
-    design = np.column_stack([log_n, log_d, np.ones_like(log_n)])
-    solution, _, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
-    predicted = design @ solution
-    residual = float(np.sum((log_y - predicted) ** 2))
-    total = float(np.sum((log_y - log_y.mean()) ** 2))
-    r_squared = 1.0 if total < 1e-15 else 1.0 - residual / total
+    solution, r_squared = _log_least_squares([ns, ds], ys)
     return PowerLawFit(
-        exponents=(float(solution[0]), float(solution[1])),
+        exponents=(solution[0], solution[1]),
         constant=float(math.exp(solution[2])),
         r_squared=r_squared,
     )

@@ -65,13 +65,14 @@ from __future__ import annotations
 
 import contextlib
 import multiprocessing
-import os
 import pickle
 import traceback
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.runtime import shard_count_setting, shard_worker_setting
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
 from repro.congest.engine.base import ExecutionEngine, register_engine
@@ -128,7 +129,9 @@ def resolve_shard_count(num_nodes: int, raw: Optional[str] = None) -> int:
     zero, negatives, non-integers -- raises a clear :class:`ValueError`.
     """
     if raw is None:
-        raw = os.environ.get(SHARDS_ENV_VAR, "")
+        # The environment read lives in repro.runtime (the REP103 contract:
+        # REPRO_* knobs are read only by the runtime/registry modules).
+        raw = shard_count_setting()
     text = raw.strip().lower()
     if text in ("", "auto"):
         return min(_AUTO_MAX_SHARDS, num_nodes)
@@ -156,7 +159,7 @@ def resolve_worker_count(num_shards: int, raw: Optional[str] = None) -> int:
     raises a clear :class:`ValueError`.
     """
     if raw is None:
-        raw = os.environ.get(WORKERS_ENV_VAR, "")
+        raw = shard_worker_setting()
     text = raw.strip().lower()
     if text in ("", "auto"):
         return 1

@@ -26,8 +26,6 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
-import numpy as np
-
 from repro.congest.network import Network
 from repro.congest.primitives import broadcast_from, build_bfs_tree
 from repro.congest.simulator import RoundReport
@@ -38,6 +36,7 @@ from repro.nanongkai.skeleton import (
     SkeletonApproximator,
     sample_skeleton_sets,
 )
+from repro.quantum.rng import as_quantum_rng
 from repro.quantum_congest.model import ProcedureCosts, QuantumCongestCharge
 from repro.quantum_congest.optimizer import (
     DistributedQuantumOptimizer,
@@ -50,6 +49,18 @@ __all__ = [
     "quantum_weighted_diameter",
     "quantum_weighted_radius",
 ]
+
+
+def _search_rng(seed):
+    """Measurement randomness: NumPy's ``default_rng`` when available (the
+    historical stream, so seeded results are unchanged), else a seeded
+    ``random.Random`` so the Theorem 1.1 entry point runs on the no-NumPy
+    tier."""
+    try:
+        import numpy as np
+    except ImportError:
+        return random.Random(seed)
+    return np.random.default_rng(seed)
 
 
 @dataclass
@@ -139,7 +150,7 @@ def _approximate(
         parameters = AlgorithmParameters.for_network(
             network, profile=profile, delta=delta
         )
-    rng = np.random.default_rng(seed)
+    rng = as_quantum_rng(_search_rng(seed))
     sampler_seed = random.Random(seed).randrange(2**31)
 
     # ---- Initialization: sample the skeleton sets (free) ------------------ #
@@ -161,7 +172,7 @@ def _approximate(
     if not good_indices:
         # The Good-Scale event failed (probability 1/poly(n)); patch one set
         # so the run can proceed, exactly as a re-sample would.
-        patch_index = int(rng.integers(len(skeleton_sets)))
+        patch_index = rng.randrange(len(skeleton_sets))
         skeleton_sets[patch_index] = sorted(
             set(skeleton_sets[patch_index]) | {extremal_nodes[0]}
         )

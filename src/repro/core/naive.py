@@ -21,9 +21,8 @@ the skeleton-based algorithm of Theorem 1.1.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.congest.apsp import classical_eccentricity_protocol
 from repro.congest.network import Network
@@ -33,6 +32,17 @@ from repro.quantum_congest.model import ProcedureCosts, QuantumCongestCharge
 from repro.quantum_congest.optimizer import DistributedQuantumOptimizer, SearchMode
 
 __all__ = ["NaiveSearchResult", "naive_quantum_diameter", "naive_quantum_radius"]
+
+
+def _search_rng(seed):
+    """NumPy's ``default_rng`` when available (the historical stream, so
+    seeded results are unchanged), else a seeded ``random.Random`` so the
+    baseline runs on the no-NumPy tier."""
+    try:
+        import numpy as np
+    except ImportError:
+        return random.Random(seed)
+    return np.random.default_rng(seed)
 
 
 @dataclass
@@ -74,7 +84,7 @@ def _naive_search(
     network: Network, maximize: bool, seed: int, delta: float
 ) -> NaiveSearchResult:
     problem = "diameter" if maximize else "radius"
-    rng = np.random.default_rng(seed)
+    rng = _search_rng(seed)
 
     # The Evaluation black box: one distributed eccentricity computation,
     # measured once on a representative node (every branch of the

@@ -1,0 +1,66 @@
+"""``repro.lint``: a stdlib-only AST linter for this repo's own invariants.
+
+The repo's correctness story rests on contracts no off-the-shelf tool can
+see: bit-identical ``RoundReport``s across engines, the no-NumPy tier,
+mutation-counter cache invalidation, registry-routed configuration and
+deterministic randomness.  This package turns them into statically checked
+properties:
+
+* :mod:`repro.lint.engine` -- single-pass AST dispatcher, file walker and
+  ``# replint: disable=REPxxx`` suppression handling (with unused-
+  suppression detection).
+* :mod:`repro.lint.rules` -- the six repo rules, REP101 .. REP106.
+* :mod:`repro.lint.reporters` -- text and JSON renderers.
+* :mod:`repro.lint.cli` -- the ``python -m repro.lint`` front end
+  (``--select`` / ``--ignore`` / ``--format`` / ``--list-rules``; exit
+  codes 0 clean, 1 findings, 2 usage error).
+
+Programmatic use::
+
+    from repro.lint import lint_paths
+    findings = lint_paths(["src"], select=["REP101"])
+
+The package imports nothing outside the standard library, so the lint gate
+runs before -- and independently of -- the scientific stack.
+"""
+
+from repro.lint.findings import Finding
+from repro.lint.engine import (
+    ENGINE_CODES,
+    SYNTAX_ERROR_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.registry import (
+    Rule,
+    UnknownRuleCode,
+    all_rules,
+    register_rule,
+    resolve_rules,
+)
+from repro.lint import rules as _rules  # registers REP101..REP106  # noqa: F401
+from repro.lint.reporters import render_json, render_text, parse_report
+from repro.lint.cli import main
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "UnknownRuleCode",
+    "ENGINE_CODES",
+    "SYNTAX_ERROR_CODE",
+    "UNUSED_SUPPRESSION_CODE",
+    "all_rules",
+    "register_rule",
+    "resolve_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "parse_report",
+    "main",
+]

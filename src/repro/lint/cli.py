@@ -1,0 +1,111 @@
+"""``python -m repro.lint``: the command-line front end.
+
+Usage::
+
+    python -m repro.lint [paths...] [--select REP101,REP102] [--ignore ...]
+                         [--format text|json] [--list-rules]
+
+* With no paths, lints ``src`` and ``tests`` when they exist (else ``.``).
+* Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage error
+  (unknown rule code, missing path) -- so CI can distinguish "violations"
+  from "misconfigured invocation".
+
+The linter itself is stdlib-only by design: the no-NumPy CI job runs this
+entry point to prove it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import ENGINE_CODES, iter_python_files, lint_file
+from repro.lint.registry import UnknownRuleCode, all_rules, resolve_rules
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based linter for this repo's engine/backend contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src and tests if present)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. REP101,REP103)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its one-line summary and exit",
+    )
+    return parser
+
+
+def _default_paths() -> List[Path]:
+    defaults = [Path(name) for name in ("src", "tests") if Path(name).is_dir()]
+    return defaults or [Path(".")]
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, (name, summary) in sorted(ENGINE_CODES.items()):
+            print(f"{code}  {name}: {summary} (engine)")
+        for rule in all_rules():
+            scope = "" if rule.scope == "all" else f" [{rule.scope}-only]"
+            print(f"{rule.code}  {rule.name}: {rule.summary}{scope}")
+        return 0
+
+    try:
+        rule_classes = resolve_rules(
+            select=_split_codes(args.select), ignore=_split_codes(args.ignore)
+        )
+    except UnknownRuleCode as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths] if args.paths else _default_paths()
+    try:
+        files = iter_python_files(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, rule_classes))
+    findings.sort(key=lambda f: f.sort_key())
+
+    if args.format == "json":
+        print(render_json(findings, files_checked=len(files)))
+    else:
+        print(render_text(findings, files_checked=len(files)))
+    return 1 if findings else 0

@@ -1,0 +1,52 @@
+"""The :class:`Finding` record every lint rule and reporter speaks.
+
+A finding is one violation at one source location.  Findings are plain
+frozen dataclasses so reporters can serialise them mechanically and tests
+can compare them structurally; :meth:`Finding.sort_key` gives the stable
+``(path, line, col, code)`` order every reporter emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation.
+
+    Attributes
+    ----------
+    path:
+        The file the violation lives in, as the path was given to the
+        engine (relative paths stay relative so reports are stable across
+        checkouts).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    code:
+        The rule code (``REP101`` ... ``REP106``, plus the engine codes
+        ``REP000`` for an unused suppression and ``REP002`` for a file
+        that does not parse).
+    rule:
+        The rule's short kebab-case name (``float-identity-comparison``).
+    message:
+        Human-readable description of the violation and the expected fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable report order: by file, then location, then code."""
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: CODE message [rule]``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message} [{self.rule}]"

@@ -1,0 +1,137 @@
+"""Rule base class and registry for the repo linter.
+
+Rules are *classes*: the engine instantiates each selected rule once per
+module, hands it the module's :class:`~repro.lint.engine.ModuleContext`,
+and dispatches AST nodes to it by node type (``node_types``).  A rule can
+keep per-module state across :meth:`Rule.visit` calls and flush
+module-level conclusions from :meth:`Rule.finish` (see ``REP105``, which
+must see every class definition *and* every ``register_*`` call before it
+can conclude anything).
+
+Registration is by decorator::
+
+    @register_rule
+    class MyRule(Rule):
+        code = "REP1xx"
+        ...
+
+and the engine selects rules by code via :func:`resolve_rules`
+(``--select`` / ``--ignore`` on the CLI).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.findings import Finding
+
+__all__ = ["Rule", "register_rule", "all_rules", "resolve_rules", "UnknownRuleCode"]
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Class attributes
+    ----------------
+    code:
+        Unique ``REPxxx`` code used in reports, suppressions and
+        ``--select`` / ``--ignore``.
+    name:
+        Short kebab-case slug shown next to the code in reports.
+    summary:
+        One-line description for ``--list-rules`` and the README table.
+    scope:
+        ``"all"`` applies everywhere; ``"src"`` restricts the rule to
+        files under a ``src`` directory (library code) -- test code is
+        allowed to do things library code must not (import NumPy
+        unconditionally, read ``REPRO_*`` knobs, draw global randomness).
+    node_types:
+        AST node classes the engine dispatches to :meth:`visit`.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    scope: str = "all"
+    node_types: Tuple[type, ...] = ()
+
+    def __init__(self, ctx: "ModuleContext") -> None:  # noqa: F821
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------ #
+    def visit(self, node: ast.AST) -> Iterator[Finding]:
+        """Inspect one dispatched node; yield findings."""
+        return iter(())
+
+    def finish(self) -> Iterator[Finding]:
+        """Called once after the module walk; yield module-level findings."""
+        return iter(())
+
+    # ------------------------------------------------------------------ #
+    def finding(self, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` for ``node`` in the current module."""
+        return self.finding_at(
+            getattr(node, "lineno", 1), getattr(node, "col_offset", 0), message
+        )
+
+    def finding_at(self, line: int, col: int, message: str) -> Finding:
+        return Finding(
+            path=self.ctx.display_path,
+            line=line,
+            col=col,
+            code=self.code,
+            rule=self.name,
+            message=message,
+        )
+
+
+class UnknownRuleCode(ValueError):
+    """Raised when ``--select`` / ``--ignore`` names a code nobody registered."""
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_cls`` to the global registry."""
+    code = rule_cls.code
+    if not code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def resolve_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Type[Rule]]:
+    """The rule classes to run, honouring ``--select`` then ``--ignore``.
+
+    Raises :class:`UnknownRuleCode` for a code nobody registered, so a typo
+    in CI configuration fails loudly instead of silently checking nothing.
+    """
+
+    def _check(codes: Iterable[str]) -> List[str]:
+        cleaned = [code.strip() for code in codes if code.strip()]
+        for code in cleaned:
+            if code not in _REGISTRY:
+                known = ", ".join(sorted(_REGISTRY))
+                raise UnknownRuleCode(f"unknown rule code {code!r} (known: {known})")
+        return cleaned
+
+    chosen = all_rules()
+    if select is not None:
+        wanted = set(_check(select))
+        chosen = [rule for rule in chosen if rule.code in wanted]
+    if ignore is not None:
+        dropped = set(_check(ignore))
+        chosen = [rule for rule in chosen if rule.code not in dropped]
+    return chosen

@@ -1,0 +1,62 @@
+"""Text and JSON renderers for lint findings.
+
+The text form is the human one-line-per-finding report; the JSON form is
+the machine interface CI uploads as an artifact (stable key order, a
+``counts`` map per rule code, and the exact finding fields of
+:class:`~repro.lint.findings.Finding`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["render_text", "render_json", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """One line per finding plus a summary line."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(f"{len(findings)} {noun} in {files_checked} files checked")
+    else:
+        lines.append(f"clean: 0 findings in {files_checked} files checked")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """The machine report: version, summary counts, then every finding."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    payload = {
+        "version": REPORT_VERSION,
+        "files_checked": files_checked,
+        "findings_total": len(findings),
+        "counts": {code: counts[code] for code in sorted(counts)},
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def parse_report(text: str) -> Dict:
+    """Parse a JSON report back (used by tests and CI assertions)."""
+    payload = json.loads(text)
+    if payload.get("version") != REPORT_VERSION:
+        raise ValueError(f"unsupported lint report version: {payload.get('version')!r}")
+    return payload

@@ -25,9 +25,6 @@ import itertools
 import math
 from typing import Callable, List, Sequence, Tuple
 
-import numpy as np
-from scipy.optimize import linprog
-
 __all__ = [
     "approximate_degree",
     "polynomial_approximation_error",
@@ -35,6 +32,25 @@ __all__ = [
     "symmetric_polynomial_approximation_error",
     "approximate_degree_lower_bound_read_once",
 ]
+
+
+def _require_lp():
+    """The LP stack (NumPy + SciPy), imported lazily.
+
+    The approximate-degree computations genuinely need ``linprog``; keeping
+    the import inside the call path means ``import repro.lower_bounds``
+    works on the dependency-free tier, and callers without SciPy get a
+    clear error naming what is missing instead of an import-time crash.
+    """
+    try:
+        import numpy as np
+        from scipy.optimize import linprog
+    except ImportError as exc:
+        raise ImportError(
+            "approximate-degree LPs require NumPy and SciPy; install them to "
+            "use repro.lower_bounds.approx_degree's solvers"
+        ) from exc
+    return np, linprog
 
 
 def _monomials_up_to_degree(num_vars: int, degree: int) -> List[Tuple[int, ...]]:
@@ -62,6 +78,7 @@ def polynomial_approximation_error(
         raise ValueError("degree must be non-negative")
     degree = min(degree, num_vars)
 
+    np, linprog = _require_lp()
     monomials = _monomials_up_to_degree(num_vars, degree)
     num_inputs = 2**num_vars
     num_coeffs = len(monomials)
@@ -122,6 +139,7 @@ def symmetric_polynomial_approximation_error(
     if degree < 0:
         raise ValueError("degree must be non-negative")
     degree = min(degree, num_points - 1)
+    np, linprog = _require_lp()
     points = np.arange(num_points, dtype=float) / max(1, num_points - 1)
     design = np.vander(points, degree + 1, increasing=True)
     values = np.asarray(weight_values, dtype=float)

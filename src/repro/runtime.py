@@ -34,7 +34,7 @@ import os
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-__all__ = ["RunConfig", "configure"]
+__all__ = ["RunConfig", "configure", "shard_count_setting", "shard_worker_setting"]
 
 #: Backend names the quantum registry can honour (``scipy`` resolves to
 #: ``numpy`` there); kernels validate the name against their own registry.
@@ -117,6 +117,22 @@ class RunConfig:
             if self.workers is not None:
                 stack.enter_context(_env_override(_WORKER_ENV, str(self.workers)))
             yield self
+
+
+def shard_count_setting() -> str:
+    """The raw ``REPRO_SHARDS`` environment setting (``""`` when unset).
+
+    The sharded engine parses this through its own
+    ``resolve_shard_count``; the read lives here so every ``REPRO_*``
+    environment read stays inside the runtime/registry modules (the REP103
+    lint contract) and composes with :func:`configure`'s restore path.
+    """
+    return os.environ.get(_SHARD_ENV, "")
+
+
+def shard_worker_setting() -> str:
+    """The raw ``REPRO_SHARD_WORKERS`` environment setting (``""`` when unset)."""
+    return os.environ.get(_WORKER_ENV, "")
 
 
 @contextlib.contextmanager

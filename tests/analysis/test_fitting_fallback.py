@@ -1,0 +1,66 @@
+"""The pure-Python normal-equations solver must agree with NumPy's lstsq.
+
+``repro.analysis.fitting`` routes through ``numpy.linalg.lstsq`` when NumPy
+is importable and through ``_solve_normal_equations`` otherwise; these tests
+force the fallback path (by monkeypatching the module's ``np`` to ``None``)
+and check it reproduces the NumPy answers to high precision.  The end-to-end
+no-NumPy behaviour is covered by ``tests/integration/test_no_numpy_tier.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.analysis.fitting as fitting
+from repro.analysis.fitting import (
+    _solve_normal_equations,
+    fit_power_law,
+    fit_two_parameter_power_law,
+)
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    monkeypatch.setattr(fitting, "np", None)
+
+
+def test_solver_matches_lstsq_on_a_known_system():
+    design = [[1.0, 2.0, 1.0], [2.0, 1.0, 1.0], [3.0, 4.0, 1.0], [5.0, 1.0, 1.0]]
+    response = [7.0, 6.0, 14.0, 10.0]
+    ours = _solve_normal_equations(design, response)
+    theirs, _, _, _ = np.linalg.lstsq(
+        np.asarray(design), np.asarray(response), rcond=None
+    )
+    assert ours == pytest.approx(list(theirs), abs=1e-9)
+
+
+def test_singular_design_raises():
+    design = [[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]]  # collinear columns
+    with pytest.raises(ValueError, match="singular"):
+        _solve_normal_equations(design, [1.0, 2.0, 3.0])
+
+
+def test_fit_power_law_agrees_with_numpy_path(no_numpy):
+    xs = [10, 20, 40, 80, 160]
+    ys = [3 * x**1.5 * (1 + 0.01 * (i % 3)) for i, x in enumerate(xs)]
+    pure = fit_power_law(xs, ys)
+    # Re-enable NumPy for the reference fit.
+    fitting.np = np
+    reference = fit_power_law(xs, ys)
+    assert pure.exponent == pytest.approx(reference.exponent, abs=1e-9)
+    assert pure.constant == pytest.approx(reference.constant, rel=1e-9)
+    assert pure.r_squared == pytest.approx(reference.r_squared, abs=1e-12)
+
+
+def test_fit_two_parameter_power_law_agrees_with_numpy_path(no_numpy):
+    ns = [10, 20, 40, 10, 20, 40, 80, 80]
+    ds = [2, 2, 2, 4, 4, 4, 2, 4]
+    ys = [2.5 * n**0.9 * d**0.3 for n, d in zip(ns, ds)]
+    pure = fit_two_parameter_power_law(ns, ds, ys)
+    fitting.np = np
+    reference = fit_two_parameter_power_law(ns, ds, ys)
+    assert pure.exponents == pytest.approx(reference.exponents, abs=1e-9)
+    assert pure.constant == pytest.approx(reference.constant, rel=1e-9)
+    assert pure.exponents[0] == pytest.approx(0.9, abs=1e-9)
+    assert pure.exponents[1] == pytest.approx(0.3, abs=1e-9)

@@ -106,7 +106,7 @@ def test_lemma_3_2_sandwich_property(graph, hops, epsilon):
     exact = dijkstra(graph, source)
     limited = bounded_hop_distances(graph, source, hops)
     for node in graph.nodes:
-        if limited[node] is INF:
+        if math.isinf(limited[node]):
             continue
         assert approx[node] >= exact[node] - 1e-9
         assert approx[node] <= (1 + epsilon) * limited[node] + 1e-9

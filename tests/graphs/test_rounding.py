@@ -69,7 +69,7 @@ class TestApproxBoundedHopDistance:
         exact = dijkstra(weighted_random_graph, source)
         hop_limited = bounded_hop_distances(weighted_random_graph, source, hop_bound)
         for node in weighted_random_graph.nodes:
-            if hop_limited[node] is INF:
+            if math.isinf(hop_limited[node]):
                 continue
             assert approx[node] >= exact[node] - 1e-9
             assert approx[node] <= (1 + epsilon) * hop_limited[node] + 1e-9
@@ -108,7 +108,7 @@ class TestApproxBoundedHopDistance:
         exact = dijkstra(weighted_random_graph, 0)
         hop_limited = bounded_hop_distances(weighted_random_graph, 0, 6)
         for node in weighted_random_graph.nodes:
-            if hop_limited[node] is INF:
+            if math.isinf(hop_limited[node]):
                 continue
             # Both stay within their own guarantee, and the tighter epsilon's
             # guarantee is stronger.

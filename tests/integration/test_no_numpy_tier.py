@@ -1,0 +1,123 @@
+"""The dependency-free tier: core packages import with NumPy blocked.
+
+CI runs the whole suite in a container without NumPy/SciPy; locally these
+tests prove the same property with a meta-path import blocker in a
+subprocess (blocking in-process would corrupt already-imported state).
+The guarded modules must import, the pure-Python fitting fallback must
+fit, the naive-search RNG must fall back to ``random.Random``, and the
+linter CLI -- stdlib-only by design -- must run.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_BLOCKER = """
+import sys
+
+
+class _BlockNumpy:
+    def find_spec(self, name, path=None, target=None):
+        if name.split(".")[0] in ("numpy", "scipy"):
+            raise ImportError(f"import of {name} is blocked for this test")
+        return None
+
+
+sys.meta_path.insert(0, _BlockNumpy())
+"""
+
+
+def _run_blocked(body: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-c", _BLOCKER + textwrap.dedent(body)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_core_packages_import_without_numpy():
+    result = _run_blocked(
+        """
+        import repro
+        import repro.core
+        import repro.analysis
+        import repro.lower_bounds
+        import repro.lint
+        from repro.core import naive_quantum_diameter, quantum_weighted_diameter
+        from repro.lower_bounds import approximate_degree_lower_bound_read_once
+        print("imports-ok")
+        """
+    )
+    assert result.returncode == 0, result.stderr
+    assert "imports-ok" in result.stdout
+
+
+def test_fitting_falls_back_to_pure_solver():
+    result = _run_blocked(
+        """
+        from repro.analysis.fitting import fit_power_law, fit_two_parameter_power_law
+
+        fit = fit_power_law([1, 2, 4, 8], [2, 8, 32, 128])
+        assert abs(fit.exponent - 2.0) < 1e-9, fit
+        assert abs(fit.constant - 2.0) < 1e-9, fit
+        assert abs(fit.r_squared - 1.0) < 1e-9, fit
+
+        two = fit_two_parameter_power_law(
+            [10, 20, 40, 10, 20, 40],
+            [2, 2, 2, 4, 4, 4],
+            [3.0 * n**0.9 * d**0.3 for n, d in
+             zip([10, 20, 40, 10, 20, 40], [2, 2, 2, 4, 4, 4])],
+        )
+        assert abs(two.exponents[0] - 0.9) < 1e-6, two
+        assert abs(two.exponents[1] - 0.3) < 1e-6, two
+        print("fit-ok")
+        """
+    )
+    assert result.returncode == 0, result.stderr
+    assert "fit-ok" in result.stdout
+
+
+def test_search_rng_falls_back_to_stdlib_random():
+    result = _run_blocked(
+        """
+        import random
+        from repro.core.naive import _search_rng
+        from repro.quantum.rng import as_quantum_rng
+
+        rng = _search_rng(7)
+        assert isinstance(rng, random.Random), type(rng)
+        wrapped = as_quantum_rng(rng)
+        draws = [wrapped.randrange(100) for _ in range(5)]
+        fresh = as_quantum_rng(_search_rng(7))
+        replay = [fresh.randrange(100) for _ in range(5)]
+        assert draws == replay, (draws, replay)
+        print("rng-ok")
+        """
+    )
+    assert result.returncode == 0, result.stderr
+    assert "rng-ok" in result.stdout
+
+
+def test_lint_cli_is_stdlib_only():
+    result = _run_blocked(
+        """
+        from repro.lint.cli import main
+
+        code = main(["src/repro/lint", "--select", "REP101"])
+        assert code == 0, code
+        print("lint-ok")
+        """
+    )
+    assert result.returncode == 0, result.stderr
+    assert "lint-ok" in result.stdout

@@ -1,0 +1,46 @@
+"""Shared helpers for the replint test suite.
+
+The rule tests lint *snippets*, not files on disk: ``run_lint`` feeds
+dedented source straight to :func:`repro.lint.lint_source` under a chosen
+pretend path (src-scoped rules key on a ``src`` path component and on the
+dotted module name derived from it, so the path is part of the fixture).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.lint import Finding, lint_source
+from repro.lint.registry import resolve_rules
+
+
+@pytest.fixture
+def run_lint():
+    """Lint a snippet as if it lived at ``rel`` (default: a src module)."""
+
+    def _run(
+        source: str,
+        rel: str = "src/repro/sample.py",
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> List[Finding]:
+        rules = None
+        if select is not None or ignore is not None:
+            rules = resolve_rules(select=select, ignore=ignore)
+        return lint_source(textwrap.dedent(source), Path(rel), rules)
+
+    return _run
+
+
+@pytest.fixture
+def codes(run_lint):
+    """Like ``run_lint`` but reduced to the list of finding codes."""
+
+    def _codes(source: str, **kwargs) -> List[str]:
+        return [finding.code for finding in run_lint(source, **kwargs)]
+
+    return _codes

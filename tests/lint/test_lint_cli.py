@@ -1,0 +1,72 @@
+"""CLI contract tests for ``python -m repro.lint``.
+
+Exit codes are part of the interface CI depends on: 0 clean, 1 findings,
+2 usage error (unknown rule code / missing path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.reporters import parse_report
+
+pytestmark = pytest.mark.lint
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A tiny src tree with one clean module and one REP102 violation."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text("import math\n\nVALUE = math.pi\n")
+    (pkg / "bad.py").write_text("import numpy\n")
+    return tmp_path
+
+
+def test_exit_zero_on_clean_file(tree, capsys):
+    assert main([str(tree / "src" / "repro" / "clean.py")]) == 0
+    out = capsys.readouterr().out
+    assert "clean: 0 findings in 1 files checked" in out
+
+
+def test_exit_one_with_findings(tree, capsys):
+    assert main([str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "REP102" in out
+    assert "1 finding in 2 files checked" in out
+
+
+def test_select_can_mask_the_violation(tree):
+    assert main([str(tree), "--select", "REP101"]) == 0
+    assert main([str(tree), "--select", "REP101,REP102"]) == 1
+    assert main([str(tree), "--ignore", "REP102"]) == 0
+
+
+def test_unknown_rule_code_is_a_usage_error(tree, capsys):
+    assert main([str(tree), "--select", "REP999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_missing_path_is_a_usage_error(tree, capsys):
+    assert main([str(tree / "does-not-exist")]) == 2
+    assert "no such file or directory" in capsys.readouterr().err
+
+
+def test_json_format_emits_the_machine_report(tree, capsys):
+    assert main([str(tree), "--format", "json"]) == 1
+    payload = parse_report(capsys.readouterr().out)
+    assert payload["files_checked"] == 2
+    assert payload["findings_total"] == 1
+    assert payload["counts"] == {"REP102": 1}
+    finding = payload["findings"][0]
+    assert finding["code"] == "REP102"
+    assert finding["path"].endswith("bad.py")
+
+
+def test_list_rules_names_every_code(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("REP000", "REP002", "REP101", "REP102", "REP103", "REP104", "REP105", "REP106"):
+        assert code in out
+    assert "[src-only]" in out

@@ -1,0 +1,201 @@
+"""Engine-level tests: walker context, suppressions, selection, reporters.
+
+These pin the machinery every rule relies on -- the suppression lifecycle
+(used / unused / unknown / scope-filtered), the tokenize-based comment
+scan, syntax-error handling, file discovery and the JSON report contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import Finding, lint_paths
+from repro.lint.engine import (
+    ENGINE_CODES,
+    SYNTAX_ERROR_CODE,
+    UNUSED_SUPPRESSION_CODE,
+    iter_python_files,
+)
+from repro.lint.registry import UnknownRuleCode, all_rules, resolve_rules
+from repro.lint.reporters import parse_report, render_json, render_text
+
+pytestmark = pytest.mark.lint
+
+
+# ---------------------------------------------------------------------- #
+# Suppression lifecycle
+# ---------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_unused_suppression_is_rep000(self, run_lint):
+        findings = run_lint("x = 1  # replint: disable=REP101\n")
+        assert [f.code for f in findings] == [UNUSED_SUPPRESSION_CODE]
+        assert "matches no finding" in findings[0].message
+
+    def test_unknown_code_is_always_flagged(self, run_lint):
+        findings = run_lint("x = 1  # replint: disable=REP999\n")
+        assert [f.code for f in findings] == [UNUSED_SUPPRESSION_CODE]
+        assert "unknown rule code 'REP999'" in findings[0].message
+
+    def test_scope_filtered_suppression_is_not_stale(self, codes):
+        # REP102 is src-only; in a test file it is not checked, so a
+        # suppression for it must be left alone (the full run over src is
+        # the arbiter of staleness), not reported as unused.
+        assert codes(
+            "import numpy  # replint: disable=REP102\n",
+            rel="tests/test_sample.py",
+        ) == []
+
+    def test_select_filtered_suppression_is_not_stale(self, codes):
+        assert codes(
+            """
+            import os
+
+            def f():
+                return os.environ.get("REPRO_X")  # replint: disable=REP103
+            """,
+            select=["REP101"],
+        ) == []
+
+    def test_comma_separated_codes_in_one_comment(self, codes):
+        assert codes(
+            """
+            import math
+            import os
+
+            def f(x):
+                return x is math.inf, os.getenv("REPRO_X")  # replint: disable=REP101, REP103
+            """,
+        ) == []
+
+    def test_suppression_inside_a_string_is_not_honoured(self, run_lint):
+        # The suppression text sits in a *string literal* on the violating
+        # line; tokenize classifies it as a STRING, not a COMMENT, so the
+        # finding survives.
+        findings = run_lint(
+            """
+            import math
+
+            def f(x):
+                return (x is math.inf, "# replint: disable=REP101")
+            """,
+            select=["REP101"],
+        )
+        assert [f.code for f in findings] == ["REP101"]
+
+    def test_one_suppression_covers_only_its_line(self, run_lint):
+        findings = run_lint(
+            """
+            import math
+
+            def f(x, y):
+                a = x is math.inf  # replint: disable=REP101
+                b = y is math.inf
+                return a, b
+            """,
+            select=["REP101"],
+        )
+        assert [(f.code, f.line) for f in findings] == [("REP101", 6)]
+
+
+# ---------------------------------------------------------------------- #
+# Parsing and discovery
+# ---------------------------------------------------------------------- #
+class TestParsingAndDiscovery:
+    def test_syntax_error_yields_rep002_only(self, run_lint):
+        findings = run_lint("def broken(:\n    pass\n")
+        assert [f.code for f in findings] == [SYNTAX_ERROR_CODE]
+        assert "does not parse" in findings[0].message
+
+    def test_iter_python_files_skips_caches_and_hidden_dirs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        found = iter_python_files([tmp_path])
+        assert [p.name for p in found] == ["mod.py"]
+        assert "__pycache__" not in found[0].parts
+
+    def test_iter_python_files_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([tmp_path / "nope"])
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import numpy\n")
+        (tmp_path / "src" / "repro" / "fine.py").write_text("import math\n")
+        findings = lint_paths([tmp_path])
+        assert [(f.code, f.path) for f in findings] == [("REP102", str(target))]
+
+
+# ---------------------------------------------------------------------- #
+# Rule selection
+# ---------------------------------------------------------------------- #
+class TestRuleSelection:
+    def test_registry_has_the_six_rules(self):
+        assert [cls.code for cls in all_rules()] == [
+            "REP101",
+            "REP102",
+            "REP103",
+            "REP104",
+            "REP105",
+            "REP106",
+        ]
+
+    def test_select_narrows_and_ignore_drops(self):
+        assert [cls.code for cls in resolve_rules(select=["REP104", "REP101"])] == [
+            "REP101",
+            "REP104",
+        ]
+        assert "REP106" not in [
+            cls.code for cls in resolve_rules(ignore=["REP106"])
+        ]
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(UnknownRuleCode, match="REP999"):
+            resolve_rules(select=["REP999"])
+        with pytest.raises(UnknownRuleCode):
+            resolve_rules(ignore=["bogus"])
+
+
+# ---------------------------------------------------------------------- #
+# Reporters
+# ---------------------------------------------------------------------- #
+class TestReporters:
+    FINDINGS = [
+        Finding("src/a.py", 3, 0, "REP101", "float-identity-comparison", "msg one"),
+        Finding("src/a.py", 9, 4, "REP103", "env-config-read", "msg two"),
+        Finding("src/b.py", 1, 0, "REP101", "float-identity-comparison", "msg three"),
+    ]
+
+    def test_text_report_lines_and_summary(self):
+        text = render_text(self.FINDINGS, files_checked=7)
+        lines = text.splitlines()
+        assert lines[0] == "src/a.py:3:0: REP101 msg one [float-identity-comparison]"
+        assert lines[-1] == "3 findings in 7 files checked"
+        assert render_text([], files_checked=7).startswith("clean: 0 findings")
+
+    def test_json_report_round_trip(self):
+        payload = parse_report(render_json(self.FINDINGS, files_checked=7))
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 7
+        assert payload["findings_total"] == 3
+        assert payload["counts"] == {"REP101": 2, "REP103": 1}
+        assert payload["findings"][0] == {
+            "path": "src/a.py",
+            "line": 3,
+            "col": 0,
+            "code": "REP101",
+            "rule": "float-identity-comparison",
+            "message": "msg one",
+        }
+
+    def test_parse_report_rejects_other_versions(self):
+        with pytest.raises(ValueError, match="version"):
+            parse_report('{"version": 99}')
+
+    def test_engine_codes_exposed_for_list_rules(self):
+        assert set(ENGINE_CODES) == {UNUSED_SUPPRESSION_CODE, SYNTAX_ERROR_CODE}

@@ -1,0 +1,41 @@
+"""The acceptance criterion: the repo lints itself clean.
+
+``python -m repro.lint src tests`` must exit 0 on the final tree -- every
+REP101..REP106 contract holds, and no stale suppressions survive.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_tests_are_clean():
+    findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    rendered = [finding.render() for finding in findings]
+    assert not rendered, "repo fails its own linter:\n" + "\n".join(rendered)
+
+
+def test_cli_entry_point_exits_zero():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src", "tests"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean: 0 findings" in result.stdout

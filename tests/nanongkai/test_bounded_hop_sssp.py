@@ -46,7 +46,7 @@ class TestProtocol:
             random_network.graph, 0, hop_bound, epsilon
         )
         for node in random_network.nodes:
-            if reference[node] is INF:
+            if math.isinf(reference[node]):
                 assert distances[node] == INF
             else:
                 assert abs(distances[node] - reference[node]) < 1e-9
@@ -60,7 +60,7 @@ class TestProtocol:
         exact = dijkstra(graph, 0)
         hop_limited = bounded_hop_distances(graph, 0, hop_bound)
         for node in graph.nodes:
-            if hop_limited[node] is INF:
+            if math.isinf(hop_limited[node]):
                 continue
             assert distances[node] >= exact[node] - 1e-9
             assert distances[node] <= (1 + epsilon) * hop_limited[node] + 1e-9

@@ -48,7 +48,7 @@ class TestCorrectness:
         for source in sources:
             exact = dijkstra(random_network.graph, source)
             for node in random_network.nodes:
-                if table[node][source] is not INF:
+                if not math.isinf(table[node][source]):
                     assert table[node][source] >= exact[node] - 1e-9
 
     def test_source_rows_are_zero(self, random_network):

@@ -80,7 +80,7 @@ class TestSkeletonGraph:
         skeleton_graph = build_skeleton_graph(skeleton, dtilde)
         for i, u in enumerate(skeleton):
             for v in skeleton[i + 1 :]:
-                if dtilde[v][u] is not INF:
+                if not math.isinf(dtilde[v][u]):
                     assert skeleton_graph.weight(u, v) == dtilde[v][u]
 
     def test_skeleton_weights_upper_bound_true_distance(self, overlay_setup):
@@ -91,7 +91,7 @@ class TestSkeletonGraph:
                 if u == v:
                     continue
                 weight = embedding.skeleton_graph.weight(u, v)
-                if weight is not INF:
+                if not math.isinf(weight):
                     assert weight >= exact[v] - 1e-9
 
 
@@ -102,7 +102,7 @@ class TestShortcutGraph:
             for v in skeleton[i + 1 :]:
                 original = embedding.skeleton_graph.weight(u, v)
                 shortcut = embedding.shortcut_graph.weight(u, v)
-                if original is not INF and shortcut is not INF:
+                if not math.isinf(original) and not math.isinf(shortcut):
                     assert shortcut <= original + 1e-9
 
     def test_shortcut_preserves_shortest_path_metric(self, overlay_setup):
@@ -111,7 +111,7 @@ class TestShortcutGraph:
             original = embedding.skeleton_graph.dijkstra(source)
             shortcut = embedding.shortcut_graph.dijkstra(source)
             for target in skeleton:
-                if original[target] is INF:
+                if math.isinf(original[target]):
                     continue
                 assert abs(original[target] - shortcut[target]) < 1e-9
 
@@ -157,7 +157,7 @@ class TestOverlaySssp:
             source, embedding.hop_bound
         )
         for node in skeleton:
-            if hop_limited[node] is INF:
+            if math.isinf(hop_limited[node]):
                 continue
             assert distances[node] >= exact_overlay[node] - 1e-9
             assert distances[node] <= (1 + epsilon) * hop_limited[node] + 1e-9
